@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures: the
+// machine table (6a), the benchmark table (6b), the dynamic-instruction
+// breakdown under MTCG (1), COCO's communication reduction (7), and the
+// speedups over single-threaded execution (8).
+//
+// Usage:
+//
+//	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 6a, 6b, 7, 8")
+	sel := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	flag.Parse()
+
+	ws := workloads.All()
+	if *sel != "" {
+		ws = nil
+		for _, name := range strings.Split(*sel, ",") {
+			w, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ws = append(ws, w)
+		}
+	}
+	cfg := sim.DefaultConfig()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("6a") {
+		exp.RenderFig6a(os.Stdout, cfg)
+		fmt.Println()
+	}
+	if want("6b") {
+		exp.RenderFig6b(os.Stdout, ws)
+		fmt.Println()
+	}
+	var commRows []exp.CommRow
+	if want("1") || want("7") {
+		var err error
+		commRows, err = exp.CommExperiment(ws)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if want("1") {
+		exp.RenderFig1(os.Stdout, commRows, "GREMIO")
+		fmt.Println()
+		exp.RenderFig1(os.Stdout, commRows, "DSWP")
+		fmt.Println()
+	}
+	if want("7") {
+		exp.RenderFig7(os.Stdout, commRows)
+		fmt.Println()
+	}
+	if want("8") {
+		rows, err := exp.SpeedupExperiment(cfg, ws)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exp.RenderFig8(os.Stdout, rows)
+	}
+}

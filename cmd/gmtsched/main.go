@@ -1,0 +1,94 @@
+// Command gmtsched parallelizes one benchmark workload and reports
+// correctness, dynamic instruction statistics, and simulated cycles — the
+// per-benchmark view of the pipeline that cmd/experiments aggregates.
+//
+// Usage:
+//
+//	gmtsched -workload ks -partitioner gremio [-nococo] [-threads 2] [-sim]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coco"
+	"repro/internal/exp"
+	"repro/internal/interp"
+	"repro/internal/partition"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "ks", "workload name (see cmd/experiments -fig 6b)")
+	part := flag.String("partitioner", "gremio", "gremio or dswp")
+	noCoco := flag.Bool("nococo", false, "disable COCO (plain MTCG placement)")
+	simulate := flag.Bool("sim", true, "run the cycle-level simulator")
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	die(err)
+
+	var p partition.Partitioner
+	switch *part {
+	case "gremio":
+		p = partition.GREMIO{}
+	case "dswp":
+		p = partition.DSWP{}
+	default:
+		die(fmt.Errorf("unknown partitioner %q", *part))
+	}
+
+	pipe, err := exp.Build(w, p, coco.DefaultOptions())
+	die(err)
+	prog := pipe.Coco
+	if *noCoco {
+		prog = pipe.Naive
+	}
+	alloc := queue.Allocate(prog)
+
+	fmt.Printf("workload:    %s (%s, %s, %d%% of execution)\n", w.Name, w.Function, w.Suite, w.ExecPct)
+	fmt.Printf("partitioner: %s, COCO=%v\n", p.Name(), !*noCoco)
+	fmt.Printf("queues:      %d (from %d per-dependence queues)\n", alloc.After, alloc.Before)
+
+	// Correctness: the multi-threaded reference run must match the
+	// single-threaded one.
+	ref := w.Ref()
+	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), 500_000_000)
+	die(err)
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads: prog.Threads, NumQueues: prog.NumQueues, Assign: pipe.Assign,
+		Args: ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: 500_000_000,
+	})
+	die(err)
+	for i := range st.LiveOuts {
+		if st.LiveOuts[i] != mt.LiveOuts[i] {
+			die(fmt.Errorf("MISMATCH: live-out %d: single-threaded %d, multi-threaded %d",
+				i, st.LiveOuts[i], mt.LiveOuts[i]))
+		}
+	}
+	fmt.Printf("correctness: multi-threaded run matches single-threaded (%d live-outs)\n", len(st.LiveOuts))
+	fmt.Printf("dynamic:     computation=%d produce=%d consume=%d sync=%d dup-branches=%d (%.1f%% communication)\n",
+		mt.Stats.Compute, mt.Stats.Produce, mt.Stats.Consume,
+		mt.Stats.MemSync(), mt.Stats.DupBranch,
+		100*float64(mt.Stats.Comm())/float64(mt.Stats.Total()))
+
+	if *simulate {
+		cfg := sim.DefaultConfig()
+		stc, err := exp.SingleThreadedCycles(cfg, w)
+		die(err)
+		mtc, err := pipe.MeasureCycles(cfg, prog)
+		die(err)
+		fmt.Printf("cycles:      single-threaded=%d multi-threaded=%d speedup=%.2fx\n",
+			stc, mtc, float64(stc)/float64(mtc))
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmtsched:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command irdump prints a workload's IR, its thread assignment under a
+// chosen partitioner, the communication plan, and the generated
+// multi-threaded code — the framework's primary inspection tool.
+//
+// Usage:
+//
+//	irdump -workload ks [-partitioner gremio|dswp] [-coco] [-threads 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/partition"
+	"repro/internal/pdg"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "ks", "workload name")
+	part := flag.String("partitioner", "gremio", "gremio or dswp")
+	useCoco := flag.Bool("coco", false, "apply COCO optimization")
+	threads := flag.Int("threads", 2, "number of threads")
+	dot := flag.String("dot", "", "emit Graphviz instead of text: cfg or pdg")
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	die(err)
+	in := w.Train()
+	st, err := interp.Run(w.F, in.Args, in.Mem, 200_000_000)
+	die(err)
+	g := pdg.Build(w.F, w.Objects)
+
+	var p partition.Partitioner
+	switch *part {
+	case "gremio":
+		p = partition.GREMIO{}
+	case "dswp":
+		p = partition.DSWP{}
+	default:
+		die(fmt.Errorf("unknown partitioner %q", *part))
+	}
+	assign, err := p.Partition(w.F, g, st.Profile, *threads)
+	die(err)
+
+	switch *dot {
+	case "cfg":
+		die(pdg.WriteCFGDOT(os.Stdout, w.F))
+		return
+	case "pdg":
+		die(g.WriteDOT(os.Stdout, assign))
+		return
+	case "":
+	default:
+		die(fmt.Errorf("unknown -dot mode %q (want cfg or pdg)", *dot))
+	}
+
+	fmt.Printf("=== %s: original IR (with %s thread assignment) ===\n", w.Name, p.Name())
+	for _, b := range w.F.Blocks {
+		fmt.Printf("%s:\n", b.Name)
+		for _, i := range b.Instrs {
+			t := "-"
+			if i.Op != ir.Jump && i.Op != ir.Nop {
+				t = fmt.Sprintf("%d", assign[i])
+			}
+			fmt.Printf("  [T%s] %v\n", t, i)
+		}
+	}
+
+	var plan *mtcg.Plan
+	if *useCoco {
+		plan, err = coco.Plan(w.F, g, assign, *threads, st.Profile, coco.DefaultOptions())
+		die(err)
+	} else {
+		plan = mtcg.NaivePlan(w.F, g, assign, *threads)
+	}
+	fmt.Println("\n=== communication plan ===")
+	for _, c := range plan.Comms {
+		fmt.Printf("  %v\n", c)
+	}
+	prog, err := mtcg.Generate(plan)
+	die(err)
+	for _, ft := range prog.Threads {
+		fmt.Printf("\n=== %s ===\n%s", ft.Name, ft)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Custompartition: the Figure 2 extension point. The GMT framework accepts
+// any partitioner; MTCG generates provably correct multi-threaded code for
+// whatever assignment it returns, and COCO optimizes its communication.
+// This example plugs in an "odd/even block" partitioner — a deliberately
+// naive scheduler — and shows that the generated code is still correct.
+//
+// Run with:
+//
+//	go run ./examples/custompartition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmt "repro"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+)
+
+// byBlockParity assigns instructions to threads by their basic block's
+// parity. It knows nothing about dependences; MTCG inserts whatever
+// communication the PDG demands.
+type byBlockParity struct{}
+
+func (byBlockParity) Name() string { return "block-parity" }
+
+func (byBlockParity) Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, n int) (map[*ir.Instr]int, error) {
+	assign := map[*ir.Instr]int{}
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Jump || in.Op == ir.Nop {
+			return
+		}
+		assign[in] = in.Block().ID % n
+	})
+	return assign, nil
+}
+
+func main() {
+	// A hammock-rich kernel: clamp and accumulate.
+	b := gmt.NewBuilder("clampsum")
+	arr := b.Array("arr", 128)
+	loop := b.Block("loop")
+	clampHi := b.Block("clampHi")
+	setHi := b.Block("setHi")
+	acc := b.Block("acc")
+	exit := b.Block("exit")
+
+	i := b.F.NewReg()
+	sum := b.F.NewReg()
+	v := b.F.NewReg()
+	b.ConstTo(i, 0)
+	b.ConstTo(sum, 0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	b.LoadTo(v, b.Add(b.AddrOf(arr), i), 0)
+	b.Br(b.CmpGT(v, b.Const(50)), clampHi, acc)
+
+	b.SetBlock(clampHi)
+	b.Br(b.CmpGT(v, b.Const(90)), setHi, acc)
+
+	b.SetBlock(setHi)
+	b.ConstTo(v, 90)
+	b.Jump(acc)
+
+	b.SetBlock(acc)
+	b.Op2To(sum, gmt.OpAdd, sum, v)
+	b.Op2To(i, gmt.OpAdd, i, b.Const(1))
+	b.Br(b.CmpLT(i, b.Const(128)), loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(sum)
+	b.F.SplitCriticalEdges()
+
+	mkMem := func() []int64 {
+		mem := make([]int64, 128)
+		for k := range mem {
+			mem[k] = int64(k)
+		}
+		return mem
+	}
+
+	want, _, err := gmt.ExecuteSingle(b.F, nil, mkMem())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, useCoco := range []bool{false, true} {
+		res, err := gmt.Parallelize(b.F, b.Objects, gmt.Config{
+			Custom:  byBlockParity{},
+			COCO:    useCoco,
+			Profile: gmt.ProfileInput{Mem: mkMem()},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := gmt.Execute(res, nil, mkMem())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.LiveOuts[0] != want[0] {
+			log.Fatalf("result %d, want %d", out.LiveOuts[0], want[0])
+		}
+		label := "MTCG"
+		if useCoco {
+			label = "MTCG+COCO"
+		}
+		fmt.Printf("%-10s result=%d (correct), communication instructions=%d\n",
+			label, out.LiveOuts[0], out.Stats.Comm())
+	}
+	fmt.Println("MTCG generated correct code for an arbitrary custom partition (Figure 2).")
+}

@@ -1,0 +1,228 @@
+package gmt_test
+
+import (
+	"testing"
+
+	gmt "repro"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+	"repro/internal/workloads"
+)
+
+// buildSumKernel makes a small region: sum of an array with a conditional
+// (only positive elements), exercising hammocks and a loop.
+func buildSumKernel() (*gmt.Function, []gmt.MemObject, gmt.MemObject) {
+	b := gmt.NewBuilder("sumpos")
+	arr := b.Array("arr", 64)
+	n := b.Param()
+	loop := b.Block("loop")
+	add := b.Block("add")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+	i := b.F.NewReg()
+	sum := b.F.NewReg()
+	b.ConstTo(i, 0)
+	b.ConstTo(sum, 0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	v := b.Load(b.Add(b.AddrOf(arr), i), 0)
+	b.Br(b.CmpGT(v, b.Const(0)), add, latch)
+	b.SetBlock(add)
+	b.Op2To(sum, ir.Add, sum, v)
+	b.Jump(latch)
+	b.SetBlock(latch)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	b.Br(b.CmpLT(i, n), loop, exit)
+	b.SetBlock(exit)
+	b.Ret(sum)
+	b.F.SplitCriticalEdges()
+	return b.F, b.Objects, arr
+}
+
+func sumInput(arr gmt.MemObject) ([]int64, []int64) {
+	mem := make([]int64, 64)
+	for k := range mem {
+		mem[k] = int64(k%7) - 3
+	}
+	return []int64{64}, mem
+}
+
+func TestParallelizeFacadeEndToEnd(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+
+	want, _, err := gmt.ExecuteSingle(f, args, append([]int64(nil), mem...))
+	if err != nil {
+		t.Fatalf("ExecuteSingle: %v", err)
+	}
+
+	for _, sched := range []gmt.Scheduler{gmt.SchedulerDSWP, gmt.SchedulerGREMIO} {
+		for _, useCoco := range []bool{false, true} {
+			res, err := gmt.Parallelize(f, objs, gmt.Config{
+				Scheduler: sched,
+				COCO:      useCoco,
+				Profile:   gmt.ProfileInput{Args: args, Mem: append([]int64(nil), mem...)},
+			})
+			if err != nil {
+				t.Fatalf("%s coco=%v: Parallelize: %v", sched, useCoco, err)
+			}
+			if len(res.Threads) != 2 {
+				t.Fatalf("%s: %d threads, want 2", sched, len(res.Threads))
+			}
+			out, err := gmt.Execute(res, args, append([]int64(nil), mem...))
+			if err != nil {
+				t.Fatalf("%s coco=%v: Execute: %v", sched, useCoco, err)
+			}
+			if len(out.LiveOuts) != 1 || out.LiveOuts[0] != want[0] {
+				t.Errorf("%s coco=%v: live-out %v, want %v", sched, useCoco, out.LiveOuts, want)
+			}
+		}
+	}
+}
+
+func TestParallelizeRejectsUnknownScheduler(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	_, err := gmt.Parallelize(f, objs, gmt.Config{
+		Scheduler: "nope",
+		Profile:   gmt.ProfileInput{Args: args, Mem: mem},
+	})
+	if err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+// roundRobin is a deliberately bad partitioner used to prove that MTCG
+// generates correct code for any partition (the paper's central claim for
+// MTCG) and that custom partitioners plug into the facade.
+type roundRobin struct{}
+
+func (roundRobin) Name() string { return "round-robin" }
+
+func (roundRobin) Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, n int) (map[*ir.Instr]int, error) {
+	assign := map[*ir.Instr]int{}
+	i := 0
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Jump || in.Op == ir.Nop {
+			return
+		}
+		assign[in] = i % n
+		i++
+	})
+	return assign, nil
+}
+
+func TestCustomPartitionerAnyPartitionIsCorrect(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	want, _, err := gmt.ExecuteSingle(f, args, append([]int64(nil), mem...))
+	if err != nil {
+		t.Fatalf("ExecuteSingle: %v", err)
+	}
+	for _, useCoco := range []bool{false, true} {
+		res, err := gmt.Parallelize(f, objs, gmt.Config{
+			Custom:  roundRobin{},
+			COCO:    useCoco,
+			Profile: gmt.ProfileInput{Args: args, Mem: append([]int64(nil), mem...)},
+		})
+		if err != nil {
+			t.Fatalf("coco=%v: Parallelize: %v", useCoco, err)
+		}
+		out, err := gmt.Execute(res, args, append([]int64(nil), mem...))
+		if err != nil {
+			t.Fatalf("coco=%v: Execute: %v", useCoco, err)
+		}
+		if out.LiveOuts[0] != want[0] {
+			t.Errorf("coco=%v: live-out %d, want %d", useCoco, out.LiveOuts[0], want[0])
+		}
+	}
+}
+
+func TestSimulateSpeedupPlausible(t *testing.T) {
+	w, err := workloads.ByName("435.gromacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := w.Train()
+	res, err := gmt.Parallelize(w.F, w.Objects, gmt.Config{
+		Scheduler: gmt.SchedulerDSWP,
+		COCO:      true,
+		Profile:   gmt.ProfileInput{Args: train.Args, Mem: train.Mem},
+	})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	cfg := gmt.DefaultMachine()
+	ref := w.Ref()
+	st, err := gmt.SimulateSingle(w.F, cfg, ref.Args, append([]int64(nil), ref.Mem...))
+	if err != nil {
+		t.Fatalf("SimulateSingle: %v", err)
+	}
+	mt, err := gmt.Simulate(res, cfg, ref.Args, append([]int64(nil), ref.Mem...))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	speedup := float64(st) / float64(mt)
+	if speedup < 0.5 || speedup > 2.5 {
+		t.Errorf("implausible dual-core speedup %.2fx (ST %d cycles, MT %d)", speedup, st, mt)
+	}
+}
+
+func TestKeepPerDepQueuesOption(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	base := gmt.Config{
+		Scheduler: gmt.SchedulerGREMIO,
+		COCO:      true,
+		Profile:   gmt.ProfileInput{Args: args, Mem: append([]int64(nil), mem...)},
+	}
+	merged, err := gmt.Parallelize(f, objs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := base
+	raw.Profile = gmt.ProfileInput{Args: args, Mem: append([]int64(nil), mem...)}
+	raw.KeepPerDepQueues = true
+	perDep, err := gmt.Parallelize(f, objs, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumQueues > perDep.NumQueues {
+		t.Errorf("allocation increased queues: %d > %d", merged.NumQueues, perDep.NumQueues)
+	}
+	if perDep.NumQueues != perDep.CommCount() {
+		t.Errorf("per-dependence queues: %d queues for %d comms",
+			perDep.NumQueues, perDep.CommCount())
+	}
+	// Both still execute correctly.
+	for _, res := range []*gmt.Result{merged, perDep} {
+		out, err := gmt.Execute(res, args, append([]int64(nil), mem...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := gmt.ExecuteSingle(f, args, append([]int64(nil), mem...))
+		if out.LiveOuts[0] != want[0] {
+			t.Errorf("result %d, want %d", out.LiveOuts[0], want[0])
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	res, err := gmt.Parallelize(f, objs, gmt.Config{
+		Profile: gmt.ProfileInput{Args: args, Mem: mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Original() != f {
+		t.Error("Original() does not return the input region")
+	}
+	if len(res.Objects()) != len(objs) {
+		t.Error("Objects() wrong length")
+	}
+	if res.Profile == nil {
+		t.Error("Profile missing")
+	}
+}

@@ -1,0 +1,164 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDistinctArraysDoNotAlias(t *testing.T) {
+	b := ir.NewBuilder("two")
+	a := b.Array("a", 10)
+	c := b.Array("c", 10)
+	pa := b.AddrOf(a)
+	pc := b.AddrOf(c)
+	v := b.Load(pa, 0)
+	b.Store(v, pc, 0)
+	b.Ret()
+	f := b.F
+
+	res := Analyze(f, b.Objects)
+	var load, store *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.Load:
+			load = in
+		case ir.Store:
+			store = in
+		}
+	})
+	if res.MayAlias(load, store) {
+		t.Error("accesses to distinct arrays should not alias")
+	}
+	if got := res.PointsTo(load.Srcs[0]); len(got) != 1 || got[0] != 0 {
+		t.Errorf("PointsTo(load base) = %v, want [0]", got)
+	}
+}
+
+func TestSameArrayAliases(t *testing.T) {
+	b := ir.NewBuilder("same")
+	a := b.Array("a", 10)
+	i := b.Param()
+	base := b.AddrOf(a)
+	p := b.Add(base, i) // derived pointer into a
+	v := b.Load(base, 3)
+	b.Store(v, p, 0)
+	b.Ret()
+	f := b.F
+
+	res := Analyze(f, b.Objects)
+	var load, store *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.Load:
+			load = in
+		case ir.Store:
+			store = in
+		}
+	})
+	if !res.MayAlias(load, store) {
+		t.Error("variable-indexed store must alias load of same array")
+	}
+}
+
+func TestConstantOffsetRefinement(t *testing.T) {
+	b := ir.NewBuilder("off")
+	a := b.Array("a", 10)
+	base := b.AddrOf(a)
+	v := b.Load(base, 2)
+	b.Store(v, base, 5)
+	w := b.Load(base, 5)
+	b.Ret(w)
+	f := b.F
+
+	res := Analyze(f, b.Objects)
+	var loads []*ir.Instr
+	var store *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.Load:
+			loads = append(loads, in)
+		case ir.Store:
+			store = in
+		}
+	})
+	if res.MayAlias(loads[0], store) {
+		t.Error("a[2] and a[5] with same base register must not alias")
+	}
+	if !res.MayAlias(loads[1], store) {
+		t.Error("a[5] and a[5] must alias")
+	}
+}
+
+func TestPointerThroughMemory(t *testing.T) {
+	// next-pointer chasing: store &b into a[0], load it back, dereference.
+	b := ir.NewBuilder("chase")
+	a := b.Array("a", 4)
+	c := b.Array("c", 4)
+	pa := b.AddrOf(a)
+	pc := b.AddrOf(c)
+	b.Store(pc, pa, 0) // a[0] = &c
+	p := b.Load(pa, 0) // p = a[0]
+	v := b.Load(p, 1)  // v = p[1]  (reads c)
+	b.Store(v, pc, 2)  // c[2] = v
+	b.Ret()
+	f := b.F
+
+	res := Analyze(f, b.Objects)
+	var indirectLoad, directStore *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Load && in.Imm == 1 {
+			indirectLoad = in
+		}
+		if in.Op == ir.Store && in.Imm == 2 {
+			directStore = in
+		}
+	})
+	if got := res.PointsTo(indirectLoad.Srcs[0]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("loaded pointer points to %v, want [1] (object c)", got)
+	}
+	if !res.MayAlias(indirectLoad, directStore) {
+		t.Error("indirect load via stored pointer must alias store to c")
+	}
+}
+
+func TestWildAccessAliasesEverything(t *testing.T) {
+	b := ir.NewBuilder("wild")
+	a := b.Array("a", 4)
+	p := b.Param() // unknown provenance used as an address
+	v := b.Load(p, 0)
+	b.Store(v, b.AddrOf(a), 0)
+	b.Ret()
+	f := b.F
+
+	res := Analyze(f, b.Objects)
+	var load, store *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.Load:
+			load = in
+		case ir.Store:
+			store = in
+		}
+	})
+	if !res.MayAlias(load, store) {
+		t.Error("wild access must alias everything")
+	}
+}
+
+func TestNonMemoryInstructionsNeverAlias(t *testing.T) {
+	b := ir.NewBuilder("nomem")
+	x := b.Param()
+	y := b.Add(x, x)
+	b.Ret(y)
+	res := Analyze(b.F, b.Objects)
+	var add *ir.Instr
+	b.F.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Add {
+			add = in
+		}
+	})
+	if res.MayAlias(add, add) {
+		t.Error("non-memory instructions must not alias")
+	}
+}

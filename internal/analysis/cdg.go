@@ -1,0 +1,105 @@
+package analysis
+
+import "repro/internal/ir"
+
+// CtrlDep records that the branch terminating Branch controls the execution
+// of some block: the block executes iff the branch takes the given successor
+// edge (directly or transitively through blocks with only one exit).
+type CtrlDep struct {
+	Branch *ir.Block // block whose terminator is the controlling branch
+	Edge   int       // successor index of the controlling edge (0 taken, 1 fall-through)
+}
+
+// CDG is the control-dependence graph of a function at basic-block
+// granularity, computed from the post-dominator tree with the classic
+// Ferrante–Ottenstein–Warren construction. A block's instructions all share
+// the block's control dependences.
+type CDG struct {
+	fn   *ir.Function
+	deps [][]CtrlDep // block ID -> direct control dependences
+}
+
+// ControlDeps computes the CDG of f using the given post-dominator tree
+// (pass nil to compute one).
+func ControlDeps(f *ir.Function, pdom *DomTree) *CDG {
+	if pdom == nil {
+		pdom = PostDominators(f)
+	}
+	g := &CDG{fn: f, deps: make([][]CtrlDep, len(f.Blocks))}
+	for _, u := range f.Blocks {
+		if len(u.Succs) < 2 {
+			continue
+		}
+		for ei, v := range u.Succs {
+			if pdom.StrictlyDominates(v, u) {
+				continue // v strictly post-dominates u: edge not control dependent
+			}
+			// Every block from v up the post-dominator tree to (but
+			// excluding) ipdom(u) is control dependent on (u, ei).
+			stop := pdom.IDom(u)
+			for w := v; w != nil && w != stop; w = pdom.IDom(w) {
+				g.deps[w.ID] = append(g.deps[w.ID], CtrlDep{Branch: u, Edge: ei})
+			}
+		}
+	}
+	return g
+}
+
+// Deps returns the direct control dependences of block b. The entry block
+// and blocks that execute unconditionally have none.
+func (g *CDG) Deps(b *ir.Block) []CtrlDep { return g.deps[b.ID] }
+
+// ControllingBranches returns the set of blocks whose terminating branches b
+// is directly control dependent on, as a block-ID set.
+func (g *CDG) ControllingBranches(b *ir.Block) map[int]bool {
+	set := map[int]bool{}
+	for _, d := range g.deps[b.ID] {
+		set[d.Branch.ID] = true
+	}
+	return set
+}
+
+// Closure returns the transitive control-dependence closure of block b: all
+// blocks whose branches directly or indirectly control b's execution. The
+// result is a block-ID set and does not include b itself unless b controls
+// itself (a loop exit branch).
+func (g *CDG) Closure(b *ir.Block) map[int]bool {
+	set := map[int]bool{}
+	var visit func(*ir.Block)
+	visit = func(x *ir.Block) {
+		for _, d := range g.deps[x.ID] {
+			if !set[d.Branch.ID] {
+				set[d.Branch.ID] = true
+				visit(d.Branch)
+			}
+		}
+	}
+	visit(b)
+	return set
+}
+
+// ClosureOf returns the transitive control-dependence closure of an existing
+// branch-block set: the given set plus every branch controlling a member.
+func (g *CDG) ClosureOf(branchBlocks map[int]bool) map[int]bool {
+	set := map[int]bool{}
+	var visit func(*ir.Block)
+	visit = func(x *ir.Block) {
+		for _, d := range g.deps[x.ID] {
+			if !set[d.Branch.ID] {
+				set[d.Branch.ID] = true
+				visit(d.Branch)
+			}
+		}
+	}
+	for id := range branchBlocks {
+		set[id] = true
+		visit(g.fn.Blocks[id])
+	}
+	return set
+}
+
+// Controls reports whether the branch ending block br (directly or
+// transitively) controls block b.
+func (g *CDG) Controls(br, b *ir.Block) bool {
+	return g.Closure(b)[br.ID]
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import "repro/internal/ir"
+
+// DominanceFrontiers computes each block's dominance frontier — the blocks
+// where its dominance ends — using the Cooper–Harvey–Kennedy algorithm over
+// the given dominator tree (pass nil to compute one). Frontiers are the
+// standard tool for SSA placement; the framework itself is non-SSA, but
+// frontiers round out the control-flow analysis suite and serve custom
+// partitioners.
+func DominanceFrontiers(f *ir.Function, dom *DomTree) map[int][]*ir.Block {
+	if dom == nil {
+		dom = Dominators(f)
+	}
+	df := map[int][]*ir.Block{}
+	add := func(id int, b *ir.Block) {
+		for _, x := range df[id] {
+			if x == b {
+				return
+			}
+		}
+		df[id] = append(df[id], b)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != nil && runner != dom.IDom(b) {
+				add(runner.ID, b)
+				runner = dom.IDom(runner)
+			}
+		}
+	}
+	return df
+}
+
+// IsReducible reports whether the function's CFG is reducible: every
+// retreating edge (an edge going backwards in some depth-first ordering) is
+// a true back edge whose target dominates its source. The GMT framework's
+// loop analyses assume reducible control flow; the benchmark kernels and
+// the random-program generator only produce reducible CFGs, and this check
+// lets clients validate theirs.
+func IsReducible(f *ir.Function) bool {
+	dom := Dominators(f)
+	// DFS coloring to find retreating edges.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(f.Blocks))
+	reducible := true
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		color[b.ID] = gray
+		for _, s := range b.Succs {
+			switch color[s.ID] {
+			case white:
+				dfs(s)
+			case gray:
+				// Retreating edge: must be a dominator back edge.
+				if !dom.Dominates(s, b) {
+					reducible = false
+				}
+			}
+		}
+		color[b.ID] = black
+	}
+	dfs(f.Entry())
+	return reducible
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDominanceFrontiersDiamond(t *testing.T) {
+	f := buildDiamond()
+	df := DominanceFrontiers(f, nil)
+	then := mustBlock(t, f, "then")
+	els := mustBlock(t, f, "else")
+	join := mustBlock(t, f, "join")
+
+	// Both arms' dominance ends at the join.
+	for _, arm := range []*ir.Block{then, els} {
+		fr := df[arm.ID]
+		if len(fr) != 1 || fr[0] != join {
+			t.Errorf("DF(%s) = %v, want [join]", arm.Name, fr)
+		}
+	}
+	// The entry dominates everything: empty frontier.
+	if len(df[f.Entry().ID]) != 0 {
+		t.Errorf("DF(entry) = %v, want empty", df[f.Entry().ID])
+	}
+	// The join dominates nothing past itself: empty frontier.
+	if len(df[join.ID]) != 0 {
+		t.Errorf("DF(join) = %v, want empty", df[join.ID])
+	}
+}
+
+func TestDominanceFrontiersLoopHeaderInOwnFrontier(t *testing.T) {
+	f := buildLoopNest()
+	df := DominanceFrontiers(f, nil)
+	inner := mustBlock(t, f, "inner")
+	outer := mustBlock(t, f, "outer")
+
+	has := func(id int, b *ir.Block) bool {
+		for _, x := range df[id] {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	// A loop header is in its own dominance frontier (back edge).
+	if !has(inner.ID, inner) {
+		t.Errorf("DF(inner) = %v, want to contain inner itself", df[inner.ID])
+	}
+	if !has(outer.ID, outer) {
+		t.Errorf("DF(outer) = %v, want to contain outer itself", df[outer.ID])
+	}
+}
+
+func TestIsReducible(t *testing.T) {
+	if !IsReducible(buildDiamond()) {
+		t.Error("diamond CFG reported irreducible")
+	}
+	if !IsReducible(buildLoopNest()) {
+		t.Error("loop nest reported irreducible")
+	}
+
+	// Classic irreducible CFG: two blocks jumping into each other's
+	// "loop" with two distinct entries.
+	b := ir.NewBuilder("irr")
+	p := b.Param()
+	x := b.Block("x")
+	y := b.Block("y")
+	exit := b.Block("exit")
+	b.Br(p, x, y) // entry branches into the middle of both
+	b.SetBlock(x)
+	c1 := b.CmpGT(p, b.Const(0))
+	b.Br(c1, y, exit)
+	b.SetBlock(y)
+	c2 := b.CmpGT(p, b.Const(1))
+	b.Br(c2, x, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	if IsReducible(b.F) {
+		t.Error("two-entry cycle reported reducible")
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestEstimateProfileSimpleLoop(t *testing.T) {
+	f := buildLoopNest() // entry -> outer -> inner(self) -> latch -> outer|exit
+	prof := EstimateProfile(f)
+
+	entryW := prof.BlockWeight(f.Entry())
+	innerW := prof.BlockWeight(mustBlock(t, f, "inner"))
+	outerW := prof.BlockWeight(mustBlock(t, f, "outer"))
+	exitW := prof.BlockWeight(mustBlock(t, f, "exit"))
+
+	// The inner loop nests inside the outer one: its weight must exceed
+	// the outer body's, which must exceed the entry's.
+	if innerW <= outerW {
+		t.Errorf("inner weight %d should exceed outer %d", innerW, outerW)
+	}
+	if outerW <= entryW {
+		t.Errorf("outer weight %d should exceed entry %d", outerW, entryW)
+	}
+	// With ~10 iterations per level, inner is roughly 100x the entry.
+	if innerW < 20*entryW {
+		t.Errorf("inner weight %d too low versus entry %d (want ~100x)", innerW, entryW)
+	}
+	// The exit executes about once.
+	if exitW > 2*entryW {
+		t.Errorf("exit weight %d should be about the entry weight %d", exitW, entryW)
+	}
+}
+
+func TestEstimateProfileDiamondSplitsEvenly(t *testing.T) {
+	f := buildDiamond()
+	prof := EstimateProfile(f)
+	then := prof.BlockWeight(mustBlock(t, f, "then"))
+	els := prof.BlockWeight(mustBlock(t, f, "else"))
+	if then != els {
+		t.Errorf("diamond arms weighted %d and %d, want equal", then, els)
+	}
+	join := prof.BlockWeight(mustBlock(t, f, "join"))
+	if join != then+els {
+		t.Errorf("join weight %d, want %d (sum of arms)", join, then+els)
+	}
+}
+
+func TestEstimateProfileEveryEdgePositive(t *testing.T) {
+	f := buildLoopNest()
+	prof := EstimateProfile(f)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if w := prof.EdgeWeight(b, s); w < 1 {
+				t.Errorf("edge %s->%s weight %d, want >= 1", b.Name, s.Name, w)
+			}
+		}
+	}
+}
+
+func TestEstimateProfileMatchesMeasuredShape(t *testing.T) {
+	// A concrete counted loop: static estimation will not match the count
+	// (it assumes 10 iterations) but the ordering of block weights must
+	// match a measured profile's.
+	b := ir.NewBuilder("counted")
+	loop := b.Block("loop")
+	body := b.Block("body")
+	skip := b.Block("skip")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+	i := b.F.NewReg()
+	b.ConstTo(i, 0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	c := b.CmpGT(b.And(i, b.Const(1)), b.Const(0))
+	b.Br(c, body, skip)
+	b.SetBlock(body)
+	b.Jump(latch)
+	b.SetBlock(skip)
+	b.Jump(latch)
+	b.SetBlock(latch)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	lim := b.Const(50)
+	cc := b.CmpLT(i, lim)
+	b.Br(cc, loop, exit)
+	b.SetBlock(exit)
+	b.Ret(i)
+	b.F.SplitCriticalEdges()
+
+	prof := EstimateProfile(b.F)
+	if prof.BlockWeight(loop) <= prof.BlockWeight(exit) {
+		t.Error("loop should be estimated hotter than exit")
+	}
+	if prof.BlockWeight(body) >= prof.BlockWeight(loop) {
+		t.Error("conditional body should be estimated cooler than the loop header")
+	}
+}

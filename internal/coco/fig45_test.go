@@ -1,0 +1,227 @@
+package coco_test
+
+import (
+	"testing"
+
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/testprog"
+)
+
+func TestFig4CommunicationLeavesLoop(t *testing.T) {
+	p := testprog.Fig4()
+	pl := plan(t, p, coco.DefaultOptions())
+
+	c := findComm(pl, p.Regs["r1"])
+	if c == nil {
+		t.Fatalf("no r1 communication: %v", pl.Comms)
+	}
+	if len(c.Points) != 1 {
+		t.Fatalf("r1 placed at %d points %v, want 1", len(c.Points), c.Points)
+	}
+	// The paper: any cost-1 cut "essentially corresponds to communicating
+	// r1 at block B3" — after loop 1, before loop 2.
+	pt := c.Points[0]
+	if pt.Block == p.Blocks["B2"] || pt.Block == p.Blocks["B4"] {
+		t.Errorf("r1 communicated inside a loop at %v", pt)
+	}
+	// Loop 1's branch C must not be relevant to T_t: the first loop
+	// disappears from the consumer thread.
+	if pl.Relevant[1][p.Blocks["B2"].ID] {
+		t.Error("loop-1 branch C still relevant to T_t")
+	}
+}
+
+func TestFig4ThreadTwoLosesFirstLoop(t *testing.T) {
+	p := testprog.Fig4()
+	prog := generate(t, plan(t, p, coco.DefaultOptions()))
+
+	if b := prog.Threads[1].BlockByName("B2"); b != nil {
+		t.Errorf("thread 2 still contains loop-1 block B2:\n%s", prog.Threads[1])
+	}
+
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads: prog.Threads, NumQueues: prog.NumQueues,
+		Assign: p.Assign, MaxSteps: 1_000_000,
+	})
+	if err != nil {
+		t.Fatalf("RunMT: %v", err)
+	}
+	// Dynamic communication drops from 10 (every loop-1 iteration) to 1.
+	if mt.Stats.Produce != 1 || mt.Stats.Consume != 1 {
+		t.Errorf("produce/consume = %d/%d, want 1/1", mt.Stats.Produce, mt.Stats.Consume)
+	}
+	if mt.Stats.DupBranch != 0 {
+		t.Errorf("duplicated branches executed %d times, want 0", mt.Stats.DupBranch)
+	}
+	if len(mt.LiveOuts) != 1 || mt.LiveOuts[0] != 275 {
+		t.Errorf("live-out = %v, want [275]", mt.LiveOuts)
+	}
+}
+
+func TestFig5PenaltiesAvoidHammock(t *testing.T) {
+	p := testprog.Fig5()
+	pl := plan(t, p, coco.DefaultOptions())
+
+	c := findComm(pl, p.Regs["r1"])
+	if c == nil {
+		t.Fatalf("no r1 communication: %v", pl.Comms)
+	}
+	// With control-flow penalties, communication of r1 must avoid the
+	// B3/B4 arms (which would make branch B relevant to T_t): it lands in
+	// B6 or at the top of B7, at cost 8.
+	for _, pt := range c.Points {
+		if pt.Block == p.Blocks["B3"] || pt.Block == p.Blocks["B4"] {
+			t.Errorf("r1 placed in hammock arm at %v", pt)
+		}
+	}
+	if pl.Relevant[1][p.Blocks["B2"].ID] {
+		t.Error("branch B became relevant to T_t despite penalties")
+	}
+
+	// Without penalties the two placements tie (cost 8 either way); the
+	// earliest-cut extraction then picks the arms, making B relevant.
+	noPen := coco.DefaultOptions()
+	noPen.ControlPenalties = false
+	pl2 := plan(t, p, noPen)
+	c2 := findComm(pl2, p.Regs["r1"])
+	if c2 == nil {
+		t.Fatal("no r1 communication without penalties")
+	}
+	inArms := 0
+	for _, pt := range c2.Points {
+		if pt.Block == p.Blocks["B3"] || pt.Block == p.Blocks["B4"] {
+			inArms++
+		}
+	}
+	if inArms == 0 {
+		t.Log("penalty-free cut also avoided the arms (tie broken favourably); penalties still guarantee it")
+	}
+}
+
+func TestFig5SharedMemorySync(t *testing.T) {
+	p := testprog.Fig5()
+	pl := plan(t, p, coco.DefaultOptions())
+
+	c := findComm(pl, ir.NoReg)
+	if c == nil {
+		t.Fatalf("no memory synchronization: %v", pl.Comms)
+	}
+	// Both memory dependences (D->K on y, G->J on x) share one
+	// synchronization point placed after G and before the load of x.
+	if len(c.Points) != 1 {
+		t.Fatalf("memory sync at %d points %v, want 1 shared point", len(c.Points), c.Points)
+	}
+	pt := c.Points[0]
+	validBlocks := map[*ir.Block]bool{
+		p.Blocks["B6"]: true, p.Blocks["B7"]: true, p.Blocks["B8"]: true,
+	}
+	if !validBlocks[pt.Block] {
+		t.Errorf("memory sync at %v, want between G and the loads (B6/B7/B8)", pt)
+	}
+	// The H-controlled region is irrelevant to T_s: no sync there.
+	if pt.Block == p.Blocks["B8a"] || pt.Block == p.Blocks["B9"] {
+		t.Errorf("memory sync placed in T_t-only region at %v", pt)
+	}
+}
+
+func TestFig5IndependentSyncCostsMore(t *testing.T) {
+	p := testprog.Fig5()
+
+	shared := plan(t, p, coco.DefaultOptions())
+	noShare := coco.DefaultOptions()
+	noShare.ShareMemSync = false
+	indep := plan(t, p, noShare)
+
+	count := func(pl *mtcg.Plan) int {
+		n := 0
+		for _, c := range pl.Comms {
+			if c.Kind == pdg.KindMem {
+				n += len(c.Points)
+			}
+		}
+		return n
+	}
+	if count(shared) >= count(indep) {
+		t.Errorf("shared sync points (%d) should be fewer than independent (%d)",
+			count(shared), count(indep))
+	}
+}
+
+func TestFig5EquivalenceAllPaths(t *testing.T) {
+	p := testprog.Fig5()
+	prog := generate(t, plan(t, p, coco.DefaultOptions()))
+
+	for _, p2 := range []int64{0, 1} {
+		for _, p3 := range []int64{0, 1} {
+			args := []int64{7, p2, p3}
+			st, err := interp.Run(p.F, args, make(interp.Memory, 2), 1_000_000)
+			if err != nil {
+				t.Fatalf("ST: %v", err)
+			}
+			mt, err := interp.RunMT(interp.MTConfig{
+				Threads: prog.Threads, NumQueues: prog.NumQueues,
+				Assign: p.Assign, Args: args,
+				Mem: make(interp.Memory, 2), MaxSteps: 1_000_000,
+			})
+			if err != nil {
+				t.Fatalf("MT (p2=%d,p3=%d): %v", p2, p3, err)
+			}
+			for i := range st.LiveOuts {
+				if st.LiveOuts[i] != mt.LiveOuts[i] {
+					t.Errorf("p2=%d p3=%d: live-out %d: ST %d MT %d",
+						p2, p3, i, st.LiveOuts[i], mt.LiveOuts[i])
+				}
+			}
+			for a := range st.Mem {
+				if st.Mem[a] != mt.Mem[a] {
+					t.Errorf("p2=%d p3=%d: mem[%d]: ST %d MT %d",
+						p2, p3, a, st.Mem[a], mt.Mem[a])
+				}
+			}
+		}
+	}
+}
+
+func TestCOCONeverIncreasesCommunication(t *testing.T) {
+	// Across all fixtures: dynamic communication with COCO <= naive MTCG
+	// (the paper: "COCO never resulted in an increase").
+	fixtures := []struct {
+		name string
+		prog *testprog.Prog
+		args []int64
+		mem  int64
+	}{
+		{"fig3", testprog.Fig3(), []int64{5, 1, 0}, 0},
+		{"fig4", testprog.Fig4(), nil, 0},
+		{"fig5", testprog.Fig5(), []int64{7, 1, 1}, 2},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			g := pdg.Build(fx.prog.F, fx.prog.Objects)
+			naive, err := mtcg.Generate(mtcg.NaivePlan(fx.prog.F, g, fx.prog.Assign, 2))
+			if err != nil {
+				t.Fatalf("naive: %v", err)
+			}
+			opt := generate(t, plan(t, fx.prog, coco.DefaultOptions()))
+			run := func(prog *mtcg.Program) int64 {
+				mt, err := interp.RunMT(interp.MTConfig{
+					Threads: prog.Threads, NumQueues: prog.NumQueues,
+					Assign: fx.prog.Assign, Args: fx.args,
+					Mem: make(interp.Memory, fx.mem), MaxSteps: 1_000_000,
+				})
+				if err != nil {
+					t.Fatalf("RunMT: %v", err)
+				}
+				return mt.Stats.Comm()
+			}
+			n, o := run(naive), run(opt)
+			if o > n {
+				t.Errorf("COCO increased communication: naive %d, COCO %d", n, o)
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+// Package coco implements the COmpiler Communication Optimization framework
+// (Section 3 of the paper): thread-aware data-flow analyses combined with
+// graph min-cut to place the communication and synchronization instructions
+// that MTCG inserts, minimizing their dynamic count.
+package coco
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mincut"
+	"repro/internal/mtcg"
+)
+
+// flowGraph is the G_f of Sections 3.1.1–3.1.3: nodes are the original
+// instructions plus one entry node per basic block, plus the special source
+// S and sink T; arcs are control flow at instruction granularity, each
+// finite arc corresponding to one program point where communication may be
+// placed.
+type flowGraph struct {
+	fn     *ir.Function
+	g      *mincut.Graph
+	s, t   int
+	points map[mincut.ArcID]mtcg.Point
+	// instrNode maps instruction IDs to node indices.
+	instrNode []int
+}
+
+// arcCosts parameterizes flow-graph construction.
+type arcCosts struct {
+	prof *ir.Profile
+	// liveAt reports whether the optimized value is live at the point;
+	// dead points get no arc (they cannot lie on a def→use path). nil
+	// means always live (memory).
+	liveAt func(mtcg.Point) bool
+	// safeAt reports Property 3 at the point; unsafe points cost Inf.
+	// nil means always safe (memory).
+	safeAt func(mtcg.Point) bool
+	// relevantSrc reports Property 2: whether the point is relevant to
+	// the source thread. Irrelevant points cost Inf.
+	relevantSrc func(*ir.Block) bool
+	// penalty is the Section 3.1.2 control-flow penalty added to arcs
+	// whose points would make new branches relevant to the target thread.
+	penalty func(*ir.Block) int64
+	// blockPenalty is a sub-unit tie-break charged to points in blocks
+	// that neither thread materializes anyway: placing communication
+	// there adds whole blocks (and their jumps) to the generated thread
+	// CFGs. All other costs are scaled by costScale so this never
+	// overrides a genuinely cheaper cut.
+	blockPenalty func(*ir.Block) int64
+}
+
+// costScale leaves room below one profile-count unit for tie-break
+// penalties.
+const costScale = 16
+
+// nodeEntry returns the node index of a block's entry.
+func (fg *flowGraph) nodeEntry(b *ir.Block) int { return b.ID }
+
+// newFlowGraph builds the shared skeleton: every feasible point becomes an
+// arc with its profile weight (plus penalties), or Inf when a property
+// forbids cutting there.
+func newFlowGraph(f *ir.Function, costs arcCosts) *flowGraph {
+	nBlocks := len(f.Blocks)
+	nInstrs := 0
+	instrNode := make([]int, f.NumInstrIDs())
+	for i := range instrNode {
+		instrNode[i] = -1
+	}
+	f.Instrs(func(in *ir.Instr) {
+		instrNode[in.ID] = nBlocks + nInstrs
+		nInstrs++
+	})
+	fg := &flowGraph{
+		fn:        f,
+		g:         mincut.New(nBlocks + nInstrs + 2),
+		s:         nBlocks + nInstrs,
+		t:         nBlocks + nInstrs + 1,
+		points:    map[mincut.ArcID]mtcg.Point{},
+		instrNode: instrNode,
+	}
+
+	cost := func(pt mtcg.Point, base int64) (int64, bool) {
+		if costs.liveAt != nil && !costs.liveAt(pt) {
+			return 0, false
+		}
+		if !costs.relevantSrc(pt.Block) {
+			return mincut.Inf, true
+		}
+		if costs.safeAt != nil && !costs.safeAt(pt) {
+			return mincut.Inf, true
+		}
+		c := (base + costs.penalty(pt.Block)) * costScale
+		if costs.blockPenalty != nil {
+			c += costs.blockPenalty(pt.Block)
+		}
+		return c, true
+	}
+	addPoint := func(from, to int, pt mtcg.Point, base int64) {
+		c, ok := cost(pt, base)
+		if !ok {
+			return
+		}
+		id := fg.g.AddArc(from, to, c)
+		fg.points[id] = pt
+	}
+
+	for _, b := range f.Blocks {
+		w := costs.prof.BlockWeight(b)
+		prev := fg.nodeEntry(b)
+		for i, in := range b.Instrs {
+			node := instrNode[in.ID]
+			addPoint(prev, node, mtcg.Point{Block: b, Index: i}, w)
+			prev = node
+		}
+		// Cross-block arcs from the terminator to successor entries.
+		// Critical edges are split, so each edge has a unique point:
+		// before the terminator if the source has one successor,
+		// otherwise at the target's entry.
+		for _, s := range b.Succs {
+			var pt mtcg.Point
+			if len(b.Succs) == 1 {
+				pt = mtcg.Point{Block: b, Index: len(b.Instrs) - 1}
+			} else {
+				if len(s.Preds) != 1 {
+					panic(fmt.Sprintf("coco: critical edge %s->%s not split", b.Name, s.Name))
+				}
+				pt = mtcg.Point{Block: s, Index: 0}
+			}
+			addPoint(prev, fg.nodeEntry(s), pt, costs.prof.EdgeWeight(b, s))
+		}
+	}
+	return fg
+}
+
+// addSource connects S to an instruction node with infinite capacity.
+func (fg *flowGraph) addSource(in *ir.Instr) {
+	fg.g.AddArc(fg.s, fg.instrNode[in.ID], mincut.Inf)
+}
+
+// addSink connects an instruction node to T with infinite capacity.
+func (fg *flowGraph) addSink(in *ir.Instr) {
+	fg.g.AddArc(fg.instrNode[in.ID], fg.t, mincut.Inf)
+}
+
+// cutPoints converts cut arcs back to program points, deduplicated in
+// deterministic order.
+func (fg *flowGraph) cutPoints(arcs []mincut.ArcID) []mtcg.Point {
+	seen := map[mtcg.Point]bool{}
+	var out []mtcg.Point
+	for _, id := range arcs {
+		pt, ok := fg.points[id]
+		if !ok {
+			panic("coco: cut includes a special arc")
+		}
+		if !seen[pt] {
+			seen[pt] = true
+			out = append(out, pt)
+		}
+	}
+	return out
+}

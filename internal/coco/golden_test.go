@@ -1,0 +1,55 @@
+package coco_test
+
+import (
+	"testing"
+
+	"repro/internal/coco"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/testprog"
+)
+
+// fig3Thread2Golden is the COCO-optimized code of Figure 3's thread 2: the
+// paper's desired outcome made concrete. Compare with naive MTCG (Figure
+// 3(d)), where thread 2 also contains copies of B2/B2e, the duplicated
+// branch D” and the communication of r2. Here thread 2 is just the B3 loop
+// body: one consume for the paper's r1 (register r4 below) plus one for the
+// constant operand, the computation F, and the replicated loop branch G
+// whose operand is a live-in needing no communication.
+const fig3Thread2Golden = `func fig3.t1(r1, r2, r3)
+entry:  ; preds: B3
+	jump B3
+B3:  ; preds: entry
+	r4 = consume [q0]
+	r9 = consume [q1]
+	r10 = mul r4, r9
+	br r3 entry, exit
+exit:  ; preds: B3
+	ret r10
+`
+
+func TestFig3ThreadTwoGolden(t *testing.T) {
+	p := testprog.Fig3()
+	g := pdg.Build(p.F, p.Objects)
+	pl, err := coco.Plan(p.F, g, p.Assign, 2, p.Profile, coco.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	prog, err := mtcg.Generate(pl)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	got := prog.Threads[1].String()
+	if got != fig3Thread2Golden {
+		t.Errorf("thread 2 code changed:\n--- got ---\n%s--- want ---\n%s", got, fig3Thread2Golden)
+	}
+	// The golden text itself must parse and verify.
+	f, err := ir.Parse(fig3Thread2Golden)
+	if err != nil {
+		t.Fatalf("golden text does not parse: %v", err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("golden text does not verify: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package dataflow implements the bit-vector data-flow analyses used by the
+// GMT scheduling framework: classic liveness and reaching definitions for
+// PDG construction, and the paper's thread-aware analyses — liveness with
+// respect to a target thread and the SAFE analysis of equations (1)–(2) —
+// that drive COCO's communication placement.
+package dataflow
+
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// RegSet is a bit set over virtual registers. The zero value is unusable;
+// allocate with NewRegSet.
+type RegSet []uint64
+
+// NewRegSet returns an empty set able to hold registers 0..max.
+func NewRegSet(max ir.Reg) RegSet {
+	return make(RegSet, (int(max)+64)/64)
+}
+
+// Add inserts r.
+func (s RegSet) Add(r ir.Reg) { s[int(r)/64] |= 1 << (uint(r) % 64) }
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) { s[int(r)/64] &^= 1 << (uint(r) % 64) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r ir.Reg) bool { return s[int(r)/64]&(1<<(uint(r)%64)) != 0 }
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// CopyFrom overwrites s with o (same capacity required).
+func (s RegSet) CopyFrom(o RegSet) { copy(s, o) }
+
+// Clear empties the set.
+func (s RegSet) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Fill makes the set universal over its capacity.
+func (s RegSet) Fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// UnionWith adds all elements of o, reporting whether s changed.
+func (s RegSet) UnionWith(o RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes elements not in o, reporting whether s changed.
+func (s RegSet) IntersectWith(o RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports whether the sets hold the same registers.
+func (s RegSet) Equal(o RegSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set has no elements.
+func (s RegSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of registers in the set.
+func (s RegSet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Regs returns the set's elements in increasing order.
+func (s RegSet) Regs() []ir.Reg {
+	var out []ir.Reg
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, ir.Reg(i*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}

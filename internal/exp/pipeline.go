@@ -1,0 +1,120 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 4) — the machine table (Fig.
+// 6(a)), the benchmark table (Fig. 6(b)), the dynamic-instruction breakdown
+// (Fig. 1), the communication reduction from COCO (Fig. 7), and the
+// speedups over single-threaded execution (Fig. 8) — using the paper's
+// methodology: profile on the train input, measure on the reference input.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/partition"
+	"repro/internal/pdg"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+const (
+	stepBudget  = 200_000_000
+	cycleBudget = 500_000_000
+)
+
+// Pipeline holds everything produced for one (workload, partitioner) pair:
+// the partition, the naive-MTCG program, and the COCO-optimized program.
+type Pipeline struct {
+	W      *workloads.Workload
+	Part   partition.Partitioner
+	Assign map[*ir.Instr]int
+	Graph  *pdg.Graph
+	// Profile is the train-input edge profile used for COCO's costs.
+	Profile *ir.Profile
+	Naive   *mtcg.Program
+	Coco    *mtcg.Program
+}
+
+// Build runs the full compilation pipeline for a workload and partitioner:
+// train-input profiling, PDG construction, partitioning, naive MTCG, COCO,
+// and queue allocation on both programs.
+func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options) (*Pipeline, error) {
+	train := w.Train()
+	prof, err := interp.Run(w.F, train.Args, train.Mem, stepBudget)
+	if err != nil {
+		return nil, fmt.Errorf("exp: profiling %s: %w", w.Name, err)
+	}
+	g := pdg.Build(w.F, w.Objects)
+	assign, err := part.Partition(w.F, g, prof.Profile, 2)
+	if err != nil {
+		return nil, fmt.Errorf("exp: partitioning %s with %s: %w", w.Name, part.Name(), err)
+	}
+
+	naive, err := mtcg.Generate(mtcg.NaivePlan(w.F, g, assign, 2))
+	if err != nil {
+		return nil, fmt.Errorf("exp: naive MTCG for %s/%s: %w", w.Name, part.Name(), err)
+	}
+	queue.Allocate(naive)
+
+	plan, err := coco.Plan(w.F, g, assign, 2, prof.Profile, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exp: COCO for %s/%s: %w", w.Name, part.Name(), err)
+	}
+	opt, err := mtcg.Generate(plan)
+	if err != nil {
+		return nil, fmt.Errorf("exp: optimized MTCG for %s/%s: %w", w.Name, part.Name(), err)
+	}
+	queue.Allocate(opt)
+
+	return &Pipeline{
+		W: w, Part: part, Assign: assign, Graph: g,
+		Profile: prof.Profile, Naive: naive, Coco: opt,
+	}, nil
+}
+
+// MeasureComm executes a generated program on the reference input with the
+// counting interpreter and returns its dynamic instruction statistics.
+func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
+	in := p.W.Ref()
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads:   prog.Threads,
+		NumQueues: prog.NumQueues,
+		Assign:    p.Assign,
+		Args:      in.Args,
+		Mem:       in.Mem,
+		MaxSteps:  stepBudget,
+	})
+	if err != nil {
+		return interp.CommStats{}, fmt.Errorf("exp: measuring %s/%s: %w", p.W.Name, p.Part.Name(), err)
+	}
+	return mt.Stats, nil
+}
+
+// MeasureCycles simulates a generated program on the reference input and
+// returns the cycle count.
+func (p *Pipeline) MeasureCycles(cfg sim.Config, prog *mtcg.Program) (int64, error) {
+	in := p.W.Ref()
+	res, err := sim.Run(cfg, prog.Threads, in.Args, in.Mem, cycleBudget)
+	if err != nil {
+		return 0, fmt.Errorf("exp: simulating %s/%s: %w", p.W.Name, p.Part.Name(), err)
+	}
+	return res.Cycles, nil
+}
+
+// SingleThreadedCycles simulates the original function on one core.
+func SingleThreadedCycles(cfg sim.Config, w *workloads.Workload) (int64, error) {
+	in := w.Ref()
+	res, err := sim.RunSingle(cfg, w.F, in.Args, in.Mem, cycleBudget)
+	if err != nil {
+		return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
+	}
+	return res.Cycles, nil
+}
+
+// Partitioners returns the two GMT schedulers of the evaluation.
+func Partitioners() []partition.Partitioner {
+	return []partition.Partitioner{partition.GREMIO{}, partition.DSWP{}}
+}

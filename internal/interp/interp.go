@@ -1,0 +1,195 @@
+// Package interp executes IR functionally: single-threaded functions for
+// golden results and edge profiles, and multi-threaded programs (the output
+// of MTCG) over blocking synchronization-array queues. The multi-threaded
+// interpreter is deterministic — threads step round-robin — so equivalence
+// against the single-threaded run is reproducible. It also classifies every
+// dynamic instruction as computation or communication, producing the data
+// behind Figures 1 and 7.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// ErrStepLimit is returned when execution exceeds the step budget,
+// indicating a runaway loop (or a lost wake-up in multi-threaded code).
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Memory is the flat word-addressed program memory shared by all threads.
+type Memory []int64
+
+// Clone returns an independent copy of the memory image.
+func (m Memory) Clone() Memory { return append(Memory(nil), m...) }
+
+// Result is the outcome of a single-threaded run.
+type Result struct {
+	// LiveOuts holds the final value of each register listed by Ret, in
+	// Ret's order.
+	LiveOuts []int64
+	Mem      Memory
+	// Steps is the number of dynamic instructions executed.
+	Steps int64
+	// Profile holds the observed execution count of every CFG edge.
+	Profile *ir.Profile
+}
+
+// Run executes f single-threaded with the given parameter values and memory
+// image (mutated in place). It fails with ErrStepLimit after maxSteps
+// instructions.
+func Run(f *ir.Function, args []int64, mem Memory, maxSteps int64) (*Result, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("interp: %s takes %d params, got %d", f.Name, len(f.Params), len(args))
+	}
+	regs := make([]int64, int(f.MaxReg())+1)
+	for i, p := range f.Params {
+		regs[p] = args[i]
+	}
+	res := &Result{Mem: mem, Profile: ir.NewProfile()}
+	blk := f.Entry()
+	idx := 0
+	for {
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("%w (%s after %d steps)", ErrStepLimit, f.Name, res.Steps)
+		}
+		in := blk.Instrs[idx]
+		res.Steps++
+		switch in.Op {
+		case ir.Br:
+			next := blk.Succs[1]
+			if regs[in.Srcs[0]] != 0 {
+				next = blk.Succs[0]
+			}
+			res.Profile.AddEdge(blk, next, 1)
+			blk, idx = next, 0
+		case ir.Jump:
+			next := blk.Succs[0]
+			res.Profile.AddEdge(blk, next, 1)
+			blk, idx = next, 0
+		case ir.Ret:
+			for _, r := range in.Srcs {
+				res.LiveOuts = append(res.LiveOuts, regs[r])
+			}
+			return res, nil
+		default:
+			if err := exec(in, regs, mem); err != nil {
+				return nil, fmt.Errorf("interp: %s: %v: %w", f.Name, in, err)
+			}
+			idx++
+		}
+	}
+}
+
+// exec evaluates one non-control, non-communication instruction.
+func exec(in *ir.Instr, regs []int64, mem Memory) error {
+	get := func(i int) int64 { return regs[in.Srcs[i]] }
+	fget := func(i int) float64 { return ir.Float64FromBits(uint64(get(i))) }
+	setf := func(v float64) { regs[in.Dst] = int64(ir.Float64Bits(v)) }
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.Nop:
+	case ir.Const:
+		regs[in.Dst] = in.Imm
+	case ir.Mov:
+		regs[in.Dst] = get(0)
+	case ir.Add:
+		regs[in.Dst] = get(0) + get(1)
+	case ir.Sub:
+		regs[in.Dst] = get(0) - get(1)
+	case ir.Mul:
+		regs[in.Dst] = get(0) * get(1)
+	case ir.Div:
+		if get(1) == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = get(0) / get(1)
+		}
+	case ir.Rem:
+		if get(1) == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = get(0) % get(1)
+		}
+	case ir.And:
+		regs[in.Dst] = get(0) & get(1)
+	case ir.Or:
+		regs[in.Dst] = get(0) | get(1)
+	case ir.Xor:
+		regs[in.Dst] = get(0) ^ get(1)
+	case ir.Shl:
+		regs[in.Dst] = get(0) << (uint64(get(1)) & 63)
+	case ir.Shr:
+		regs[in.Dst] = get(0) >> (uint64(get(1)) & 63)
+	case ir.Neg:
+		regs[in.Dst] = -get(0)
+	case ir.Not:
+		regs[in.Dst] = ^get(0)
+	case ir.Abs:
+		v := get(0)
+		if v < 0 {
+			v = -v
+		}
+		regs[in.Dst] = v
+	case ir.CmpEQ:
+		regs[in.Dst] = b2i(get(0) == get(1))
+	case ir.CmpNE:
+		regs[in.Dst] = b2i(get(0) != get(1))
+	case ir.CmpLT:
+		regs[in.Dst] = b2i(get(0) < get(1))
+	case ir.CmpLE:
+		regs[in.Dst] = b2i(get(0) <= get(1))
+	case ir.CmpGT:
+		regs[in.Dst] = b2i(get(0) > get(1))
+	case ir.CmpGE:
+		regs[in.Dst] = b2i(get(0) >= get(1))
+	case ir.FAdd:
+		setf(fget(0) + fget(1))
+	case ir.FSub:
+		setf(fget(0) - fget(1))
+	case ir.FMul:
+		setf(fget(0) * fget(1))
+	case ir.FDiv:
+		setf(fget(0) / fget(1))
+	case ir.FNeg:
+		setf(-fget(0))
+	case ir.FAbs:
+		v := fget(0)
+		if v < 0 {
+			v = -v
+		}
+		setf(v)
+	case ir.FSqrt:
+		setf(math.Sqrt(fget(0)))
+	case ir.FCmpLT:
+		regs[in.Dst] = b2i(fget(0) < fget(1))
+	case ir.FCmpGT:
+		regs[in.Dst] = b2i(fget(0) > fget(1))
+	case ir.ItoF:
+		setf(float64(get(0)))
+	case ir.FtoI:
+		regs[in.Dst] = int64(fget(0))
+	case ir.Load:
+		a := get(0) + in.Imm
+		if a < 0 || a >= int64(len(mem)) {
+			return fmt.Errorf("load address %d out of range [0,%d)", a, len(mem))
+		}
+		regs[in.Dst] = mem[a]
+	case ir.Store:
+		a := get(1) + in.Imm
+		if a < 0 || a >= int64(len(mem)) {
+			return fmt.Errorf("store address %d out of range [0,%d)", a, len(mem))
+		}
+		mem[a] = get(0)
+	default:
+		return fmt.Errorf("unexpected opcode %v", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ErrDeadlock is returned when every unfinished thread is blocked on a
+// queue operation — which the MTCG construction guarantees cannot happen
+// for a well-formed plan, so hitting it indicates a placement bug.
+var ErrDeadlock = errors.New("interp: deadlock: all threads blocked")
+
+// CommStats counts dynamic instructions by role. Compute covers the
+// original program's instructions (including control flow); the other
+// fields are multi-threading overhead.
+type CommStats struct {
+	Compute     int64
+	Produce     int64
+	Consume     int64
+	ProduceSync int64
+	ConsumeSync int64
+	// DupBranch counts executions of branches replicated into a thread
+	// that does not own them (transitive control dependences).
+	DupBranch int64
+}
+
+// Comm returns the number of communication/synchronization instructions —
+// the quantity Figures 1 and 7 report.
+func (s CommStats) Comm() int64 {
+	return s.Produce + s.Consume + s.ProduceSync + s.ConsumeSync
+}
+
+// MemSync returns the number of memory synchronization instructions.
+func (s CommStats) MemSync() int64 { return s.ProduceSync + s.ConsumeSync }
+
+// Total returns all dynamic instructions.
+func (s CommStats) Total() int64 { return s.Compute + s.Comm() + s.DupBranch }
+
+// Add accumulates o into s.
+func (s *CommStats) Add(o CommStats) {
+	s.Compute += o.Compute
+	s.Produce += o.Produce
+	s.Consume += o.Consume
+	s.ProduceSync += o.ProduceSync
+	s.ConsumeSync += o.ConsumeSync
+	s.DupBranch += o.DupBranch
+}
+
+// MTConfig describes a multi-threaded program to execute.
+type MTConfig struct {
+	Threads   []*ir.Function
+	NumQueues int
+	// QueueCap is the queue depth (the paper: 32-entry queues for DSWP,
+	// single-entry otherwise; we default to 32 for both).
+	QueueCap int
+	// Assign is the original partition; used to classify replicated
+	// branches (via Instr.Orig).
+	Assign map[*ir.Instr]int
+	Args   []int64
+	Mem    Memory
+	// MaxSteps bounds total dynamic instructions across threads.
+	MaxSteps int64
+}
+
+// MTResult is the outcome of a multi-threaded run.
+type MTResult struct {
+	// LiveOuts are the final live-out values, read from the thread that
+	// owns the original Ret.
+	LiveOuts []int64
+	Mem      Memory
+	// PerThread holds instruction-role counts for each thread.
+	PerThread []CommStats
+	// Stats is the sum over threads.
+	Stats CommStats
+}
+
+// threadState is one thread's execution context.
+type threadState struct {
+	fn   *ir.Function
+	regs []int64
+	blk  *ir.Block
+	idx  int
+	done bool
+	outs []int64 // live-outs captured at this thread's Ret
+}
+
+// RunMT executes a multi-threaded program deterministically: threads take
+// turns executing one instruction each, skipping their turn while blocked
+// on a full or empty queue. It returns ErrDeadlock if no thread can make
+// progress and ErrStepLimit if cfg.MaxSteps is exhausted.
+func RunMT(cfg MTConfig) (*MTResult, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 32
+	}
+	queues := make([][]int64, cfg.NumQueues)
+	threads := make([]*threadState, len(cfg.Threads))
+	for i, fn := range cfg.Threads {
+		if len(cfg.Args) != len(fn.Params) {
+			return nil, fmt.Errorf("interp: thread %s takes %d params, got %d",
+				fn.Name, len(fn.Params), len(cfg.Args))
+		}
+		ts := &threadState{fn: fn, regs: make([]int64, int(fn.MaxReg())+1), blk: fn.Entry()}
+		for j, p := range fn.Params {
+			ts.regs[p] = cfg.Args[j]
+		}
+		threads[i] = ts
+	}
+
+	res := &MTResult{Mem: cfg.Mem, PerThread: make([]CommStats, len(threads))}
+	var steps int64
+	for {
+		progress := false
+		alldone := true
+		for ti, ts := range threads {
+			if ts.done {
+				continue
+			}
+			alldone = false
+			stepped, err := stepThread(ts, ti, queues, cfg, &res.PerThread[ti])
+			if err != nil {
+				return nil, err
+			}
+			if stepped {
+				progress = true
+				steps++
+				if steps > cfg.MaxSteps {
+					return nil, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
+				}
+			}
+		}
+		if alldone {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, queues))
+		}
+	}
+
+	for ti, ts := range threads {
+		if ts.outs != nil {
+			res.LiveOuts = ts.outs
+		}
+		res.Stats.Add(res.PerThread[ti])
+	}
+	return res, nil
+}
+
+// stepThread executes at most one instruction of ts, returning whether it
+// made progress (false when blocked on a queue).
+func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig, stats *CommStats) (bool, error) {
+	in := ts.blk.Instrs[ts.idx]
+	switch in.Op {
+	case ir.Produce, ir.ProduceSync:
+		if len(queues[in.Queue]) >= cfg.QueueCap {
+			return false, nil // queue full
+		}
+		v := int64(0)
+		if in.Op == ir.Produce {
+			v = ts.regs[in.Srcs[0]]
+			stats.Produce++
+		} else {
+			stats.ProduceSync++
+		}
+		queues[in.Queue] = append(queues[in.Queue], v)
+		ts.idx++
+	case ir.Consume, ir.ConsumeSync:
+		if len(queues[in.Queue]) == 0 {
+			return false, nil // queue empty
+		}
+		v := queues[in.Queue][0]
+		queues[in.Queue] = queues[in.Queue][1:]
+		if in.Op == ir.Consume {
+			ts.regs[in.Dst] = v
+			stats.Consume++
+		} else {
+			stats.ConsumeSync++
+		}
+		ts.idx++
+	case ir.Br:
+		if in.Orig != nil && cfg.Assign[in.Orig] != ti {
+			stats.DupBranch++
+		} else {
+			stats.Compute++
+		}
+		next := ts.blk.Succs[1]
+		if ts.regs[in.Srcs[0]] != 0 {
+			next = ts.blk.Succs[0]
+		}
+		ts.blk, ts.idx = next, 0
+	case ir.Jump:
+		stats.Compute++
+		ts.blk, ts.idx = ts.blk.Succs[0], 0
+	case ir.Ret:
+		stats.Compute++
+		ts.done = true
+		if len(in.Srcs) > 0 {
+			ts.outs = []int64{}
+			for _, r := range in.Srcs {
+				ts.outs = append(ts.outs, ts.regs[r])
+			}
+		}
+	default:
+		stats.Compute++
+		if err := exec(in, ts.regs, cfg.Mem); err != nil {
+			return false, fmt.Errorf("interp: thread %d: %v: %w", ti, in, err)
+		}
+		ts.idx++
+	}
+	return true, nil
+}
+
+// describeBlocked renders a diagnostic for deadlocks.
+func describeBlocked(threads []*threadState, queues [][]int64) string {
+	s := ""
+	for ti, ts := range threads {
+		if ts.done {
+			s += fmt.Sprintf("thread %d: done\n", ti)
+			continue
+		}
+		in := ts.blk.Instrs[ts.idx]
+		qlen := -1
+		if in.Op.IsComm() {
+			qlen = len(queues[in.Queue])
+		}
+		s += fmt.Sprintf("thread %d: blocked at %s[%d]: %v (queue len %d)\n",
+			ti, ts.blk.Name, ts.idx, in, qlen)
+	}
+	return s
+}

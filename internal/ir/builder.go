@@ -1,0 +1,189 @@
+package ir
+
+import "fmt"
+
+// MemObject describes a named memory region (an array or a set of scalars)
+// in the flat word-addressed memory. The alias analysis resolves address
+// constants against the object table to derive points-to sets.
+type MemObject struct {
+	Name string
+	Base int64 // first word index
+	Size int64 // number of words
+}
+
+// Contains reports whether the word address a falls inside the object.
+func (o MemObject) Contains(a int64) bool { return a >= o.Base && a < o.Base+o.Size }
+
+// Builder constructs Functions imperatively, one block at a time. The zero
+// value is not usable; call NewBuilder.
+type Builder struct {
+	F       *Function
+	Objects []MemObject
+
+	cur     *Block
+	nextMem int64
+}
+
+// NewBuilder returns a builder for a fresh function with an entry block
+// selected as the insertion point.
+func NewBuilder(name string) *Builder {
+	b := &Builder{F: NewFunction(name)}
+	b.cur = b.F.NewBlock("entry")
+	return b
+}
+
+// Block creates a new block and returns it without changing the insertion
+// point.
+func (b *Builder) Block(name string) *Block { return b.F.NewBlock(name) }
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Cur returns the current insertion block.
+func (b *Builder) Cur() *Block { return b.cur }
+
+// Param allocates a live-in register.
+func (b *Builder) Param() Reg {
+	r := b.F.NewReg()
+	b.F.Params = append(b.F.Params, r)
+	return r
+}
+
+// Array reserves size words of memory for a named object and returns it.
+func (b *Builder) Array(name string, size int64) MemObject {
+	o := MemObject{Name: name, Base: b.nextMem, Size: size}
+	b.Objects = append(b.Objects, o)
+	b.nextMem += size
+	return o
+}
+
+// MemSize returns the number of memory words reserved so far.
+func (b *Builder) MemSize() int64 { return b.nextMem }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.cur.Terminator() != nil {
+		panic(fmt.Sprintf("ir: emitting %v into terminated block %s", in, b.cur.Name))
+	}
+	b.cur.Append(in)
+	return in
+}
+
+// Const emits dst = v and returns dst.
+func (b *Builder) Const(v int64) Reg {
+	dst := b.F.NewReg()
+	in := b.F.NewInstr(Const, dst)
+	in.Imm = v
+	b.emit(in)
+	return dst
+}
+
+// FConst emits a float64 constant (stored as raw bits).
+func (b *Builder) FConst(v float64) Reg { return b.Const(int64(Float64Bits(v))) }
+
+// AddrOf emits a constant holding the base address of obj.
+func (b *Builder) AddrOf(obj MemObject) Reg { return b.Const(obj.Base) }
+
+// Op2 emits a two-source instruction and returns its destination.
+func (b *Builder) Op2(op Op, x, y Reg) Reg {
+	dst := b.F.NewReg()
+	b.emit(b.F.NewInstr(op, dst, x, y))
+	return dst
+}
+
+// Op1 emits a one-source instruction and returns its destination.
+func (b *Builder) Op1(op Op, x Reg) Reg {
+	dst := b.F.NewReg()
+	b.emit(b.F.NewInstr(op, dst, x))
+	return dst
+}
+
+// Arithmetic and comparison conveniences.
+
+func (b *Builder) Add(x, y Reg) Reg    { return b.Op2(Add, x, y) }
+func (b *Builder) Sub(x, y Reg) Reg    { return b.Op2(Sub, x, y) }
+func (b *Builder) Mul(x, y Reg) Reg    { return b.Op2(Mul, x, y) }
+func (b *Builder) Div(x, y Reg) Reg    { return b.Op2(Div, x, y) }
+func (b *Builder) Rem(x, y Reg) Reg    { return b.Op2(Rem, x, y) }
+func (b *Builder) And(x, y Reg) Reg    { return b.Op2(And, x, y) }
+func (b *Builder) Or(x, y Reg) Reg     { return b.Op2(Or, x, y) }
+func (b *Builder) Xor(x, y Reg) Reg    { return b.Op2(Xor, x, y) }
+func (b *Builder) Shl(x, y Reg) Reg    { return b.Op2(Shl, x, y) }
+func (b *Builder) Shr(x, y Reg) Reg    { return b.Op2(Shr, x, y) }
+func (b *Builder) Abs(x Reg) Reg       { return b.Op1(Abs, x) }
+func (b *Builder) Neg(x Reg) Reg       { return b.Op1(Neg, x) }
+func (b *Builder) CmpEQ(x, y Reg) Reg  { return b.Op2(CmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y Reg) Reg  { return b.Op2(CmpNE, x, y) }
+func (b *Builder) CmpLT(x, y Reg) Reg  { return b.Op2(CmpLT, x, y) }
+func (b *Builder) CmpLE(x, y Reg) Reg  { return b.Op2(CmpLE, x, y) }
+func (b *Builder) CmpGT(x, y Reg) Reg  { return b.Op2(CmpGT, x, y) }
+func (b *Builder) CmpGE(x, y Reg) Reg  { return b.Op2(CmpGE, x, y) }
+func (b *Builder) FAdd(x, y Reg) Reg   { return b.Op2(FAdd, x, y) }
+func (b *Builder) FSub(x, y Reg) Reg   { return b.Op2(FSub, x, y) }
+func (b *Builder) FMul(x, y Reg) Reg   { return b.Op2(FMul, x, y) }
+func (b *Builder) FDiv(x, y Reg) Reg   { return b.Op2(FDiv, x, y) }
+func (b *Builder) FCmpLT(x, y Reg) Reg { return b.Op2(FCmpLT, x, y) }
+func (b *Builder) FCmpGT(x, y Reg) Reg { return b.Op2(FCmpGT, x, y) }
+func (b *Builder) ItoF(x Reg) Reg      { return b.Op1(ItoF, x) }
+func (b *Builder) FtoI(x Reg) Reg      { return b.Op1(FtoI, x) }
+
+// Mov emits dst = x into a fresh register.
+func (b *Builder) Mov(x Reg) Reg { return b.Op1(Mov, x) }
+
+// MovTo emits dst = x into an existing register (the non-SSA idiom for loop
+// variables and accumulators).
+func (b *Builder) MovTo(dst, x Reg) {
+	b.emit(b.F.NewInstr(Mov, dst, x))
+}
+
+// ConstTo emits dst = v into an existing register.
+func (b *Builder) ConstTo(dst Reg, v int64) {
+	in := b.F.NewInstr(Const, dst)
+	in.Imm = v
+	b.emit(in)
+}
+
+// Op2To emits dst = op(x, y) into an existing register.
+func (b *Builder) Op2To(dst Reg, op Op, x, y Reg) {
+	b.emit(b.F.NewInstr(op, dst, x, y))
+}
+
+// Load emits dst = mem[base+off].
+func (b *Builder) Load(base Reg, off int64) Reg {
+	dst := b.F.NewReg()
+	in := b.F.NewInstr(Load, dst, base)
+	in.Imm = off
+	b.emit(in)
+	return dst
+}
+
+// LoadTo emits dst = mem[base+off] into an existing register.
+func (b *Builder) LoadTo(dst, base Reg, off int64) {
+	in := b.F.NewInstr(Load, dst, base)
+	in.Imm = off
+	b.emit(in)
+}
+
+// Store emits mem[base+off] = val.
+func (b *Builder) Store(val, base Reg, off int64) {
+	in := b.F.NewInstr(Store, NoReg, val, base)
+	in.Imm = off
+	b.emit(in)
+}
+
+// Br terminates the current block with a conditional branch.
+func (b *Builder) Br(cond Reg, taken, fall *Block) {
+	b.emit(b.F.NewInstr(Br, NoReg, cond))
+	b.cur.SetSuccs(taken, fall)
+}
+
+// Jump terminates the current block with an unconditional jump.
+func (b *Builder) Jump(target *Block) {
+	b.emit(b.F.NewInstr(Jump, NoReg))
+	b.cur.SetSuccs(target)
+}
+
+// Ret terminates the current block, naming the region's live-out registers.
+func (b *Builder) Ret(liveOuts ...Reg) {
+	b.emit(b.F.NewInstr(Ret, NoReg, liveOuts...))
+	b.cur.SetSuccs()
+}

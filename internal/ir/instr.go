@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a virtual register. Register 0 is the invalid register; the
+// framework never allocates it.
+type Reg int
+
+// NoReg is the invalid register.
+const NoReg Reg = 0
+
+// String returns the assembler spelling of the register, e.g. "r7".
+func (r Reg) String() string {
+	if r == NoReg {
+		return "r?"
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// NoQueue marks an instruction that does not use a communication queue.
+const NoQueue = -1
+
+// Instr is a single IR instruction. Instructions belong to exactly one basic
+// block and carry a function-unique ID that all analyses key on.
+type Instr struct {
+	// ID is unique within the enclosing function and stable across
+	// analyses. IDs order instructions arbitrarily, not by position.
+	ID int
+
+	Op   Op
+	Dst  Reg   // defined register, NoReg if none
+	Srcs []Reg // source registers (live-out list for Ret)
+	Imm  int64 // immediate constant / memory offset
+
+	// Queue is the synchronization-array queue used by communication
+	// instructions; NoQueue otherwise.
+	Queue int
+
+	// Orig points to the original-program instruction this one was copied
+	// from during multi-threaded code generation (branch duplication,
+	// instruction placement). It is nil in source functions.
+	Orig *Instr
+
+	blk *Block
+}
+
+// Block returns the basic block containing the instruction, or nil if the
+// instruction is detached.
+func (in *Instr) Block() *Block { return in.blk }
+
+// Defs returns the register defined by the instruction, or NoReg.
+func (in *Instr) Defs() Reg { return in.Dst }
+
+// Uses returns the registers read by the instruction. The returned slice
+// aliases the instruction; callers must not modify it.
+func (in *Instr) Uses() []Reg { return in.Srcs }
+
+// UsesReg reports whether the instruction reads register r.
+func (in *Instr) UsesReg(r Reg) bool {
+	for _, s := range in.Srcs {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTerminator reports whether the instruction ends its block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// Index returns the instruction's position within its block, or -1 if the
+// instruction is detached. It is a linear scan; analyses that need fast
+// position lookup should build their own index.
+func (in *Instr) Index() int {
+	if in.blk == nil {
+		return -1
+	}
+	for i, other := range in.blk.Instrs {
+		if other == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the instruction in assembler-like syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case Const:
+		fmt.Fprintf(&b, "%s = const %d", in.Dst, in.Imm)
+	case Load:
+		fmt.Fprintf(&b, "%s = load [%s+%d]", in.Dst, in.Srcs[0], in.Imm)
+	case Store:
+		fmt.Fprintf(&b, "store [%s+%d] = %s", in.Srcs[1], in.Imm, in.Srcs[0])
+	case Br:
+		fmt.Fprintf(&b, "br %s", in.Srcs[0])
+		if in.blk != nil && len(in.blk.Succs) == 2 {
+			fmt.Fprintf(&b, " %s, %s", in.blk.Succs[0].Name, in.blk.Succs[1].Name)
+		}
+	case Jump:
+		b.WriteString("jump")
+		if in.blk != nil && len(in.blk.Succs) == 1 {
+			fmt.Fprintf(&b, " %s", in.blk.Succs[0].Name)
+		}
+	case Ret:
+		b.WriteString("ret")
+		for i, s := range in.Srcs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %s", s)
+		}
+	case Produce:
+		fmt.Fprintf(&b, "produce [q%d] = %s", in.Queue, in.Srcs[0])
+	case Consume:
+		fmt.Fprintf(&b, "%s = consume [q%d]", in.Dst, in.Queue)
+	case ProduceSync:
+		fmt.Fprintf(&b, "produce.sync [q%d]", in.Queue)
+	case ConsumeSync:
+		fmt.Fprintf(&b, "consume.sync [q%d]", in.Queue)
+	default:
+		if in.Op.HasDst() {
+			fmt.Fprintf(&b, "%s = %s", in.Dst, in.Op)
+		} else {
+			b.WriteString(in.Op.String())
+		}
+		for i, s := range in.Srcs {
+			if i == 0 && !in.Op.HasDst() {
+				b.WriteString(" ")
+			} else if i == 0 {
+				b.WriteString(" ")
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,373 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reconstructs a Function from the textual form produced by
+// Function.String, enabling golden tests and file-based test cases. Memory
+// objects are not part of the textual form; callers that need alias
+// information must supply an object table separately.
+//
+// The grammar (one instruction per line, blocks introduced by "name:"):
+//
+//	func name(r1, r2)
+//	entry:
+//		r3 = const 5
+//		r4 = add r1, r3
+//		store [r4+2] = r3
+//		r5 = load [r4+0]
+//		produce [q0] = r5
+//		r6 = consume [q1]
+//		br r6 then, else
+//	then: ...
+func Parse(text string) (*Function, error) {
+	p := &parser{}
+	lines := strings.Split(text, "\n")
+	for num, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("ir: line %d: %q: %w", num+1, raw, err)
+		}
+	}
+	if p.f == nil {
+		return nil, fmt.Errorf("ir: no function header")
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParse is Parse for tests and examples with known-good text.
+func MustParse(text string) *Function {
+	f, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type pendingBranch struct {
+	block   *Block
+	targets []string
+}
+
+type parser struct {
+	f        *Function
+	cur      *Block
+	blocks   map[string]*Block
+	pending  []pendingBranch
+	maxQueue int
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "func "):
+		return p.header(line)
+	case strings.HasSuffix(line, ":") && !strings.Contains(line, "="):
+		return p.blockStart(strings.TrimSuffix(line, ":"))
+	default:
+		if p.cur == nil {
+			return fmt.Errorf("instruction outside block")
+		}
+		return p.instr(line)
+	}
+}
+
+func (p *parser) header(line string) error {
+	if p.f != nil {
+		return fmt.Errorf("duplicate function header")
+	}
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed header")
+	}
+	name := strings.TrimSpace(line[len("func "):open])
+	p.f = NewFunction(name)
+	p.blocks = map[string]*Block{}
+	params := strings.TrimSpace(line[open+1 : close])
+	if params != "" {
+		for _, ps := range strings.Split(params, ",") {
+			r, err := p.reg(strings.TrimSpace(ps))
+			if err != nil {
+				return err
+			}
+			p.f.Params = append(p.f.Params, r)
+		}
+	}
+	return nil
+}
+
+func (p *parser) blockStart(name string) error {
+	if p.f == nil {
+		return fmt.Errorf("block before function header")
+	}
+	if _, dup := p.blocks[name]; dup {
+		return fmt.Errorf("duplicate block %q", name)
+	}
+	b := p.f.NewBlock(name)
+	p.blocks[name] = b
+	p.cur = b
+	return nil
+}
+
+// reg parses "rN".
+func (p *parser) reg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n <= 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	r := Reg(n)
+	p.f.ReserveRegs(r)
+	return r, nil
+}
+
+// queueRef parses "[qN]".
+func (p *parser) queueRef(s string) (int, error) {
+	if !strings.HasPrefix(s, "[q") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	n, err := strconv.Atoi(s[2 : len(s)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	if n+1 > p.maxQueue {
+		p.maxQueue = n + 1
+	}
+	return n, nil
+}
+
+// memRef parses "[rN+OFF]".
+func (p *parser) memRef(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	// The printer emits base+offset with a literal '+' even for negative
+	// offsets ("[r1+-3]"), so split at the first '+'.
+	split := strings.Index(body, "+")
+	if split <= 0 {
+		return NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	r, err := p.reg(body[:split])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	off, err := strconv.ParseInt(body[split+1:], 10, 64)
+	if err != nil {
+		return NoReg, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, off, nil
+}
+
+var opByName = func() map[string]Op {
+	m := map[string]Op{}
+	for op := Nop; op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (p *parser) emit(in *Instr) { p.cur.Append(in) }
+
+func (p *parser) instr(line string) error {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " , "))
+	// Re-join and split on "=" first for assignment forms.
+	if eq := strings.Index(line, "="); eq >= 0 && !strings.HasPrefix(line, "store") &&
+		!strings.HasPrefix(line, "produce") {
+		lhs := strings.TrimSpace(line[:eq])
+		rhs := strings.TrimSpace(line[eq+1:])
+		dst, err := p.reg(lhs)
+		if err != nil {
+			return err
+		}
+		return p.assign(dst, rhs)
+	}
+	switch fields[0] {
+	case "store":
+		// store [rM+OFF] = rN
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed store")
+		}
+		base, off, err := p.memRef(strings.TrimSpace(strings.TrimPrefix(line[:eq], "store")))
+		if err != nil {
+			return err
+		}
+		val, err := p.reg(strings.TrimSpace(line[eq+1:]))
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(Store, NoReg, val, base)
+		in.Imm = off
+		p.emit(in)
+	case "produce":
+		// produce [qK] = rN
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed produce")
+		}
+		q, err := p.queueRef(strings.TrimSpace(strings.TrimPrefix(line[:eq], "produce")))
+		if err != nil {
+			return err
+		}
+		src, err := p.reg(strings.TrimSpace(line[eq+1:]))
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(Produce, NoReg, src)
+		in.Queue = q
+		p.emit(in)
+	case "produce.sync", "consume.sync":
+		q, err := p.queueRef(strings.TrimSpace(strings.TrimPrefix(
+			strings.TrimPrefix(line, "produce.sync"), "consume.sync")))
+		if err != nil {
+			return err
+		}
+		op := ProduceSync
+		if fields[0] == "consume.sync" {
+			op = ConsumeSync
+		}
+		in := p.f.NewInstr(op, NoReg)
+		in.Queue = q
+		p.emit(in)
+	case "br":
+		// br rN target1, target2
+		if len(fields) < 2 {
+			return fmt.Errorf("malformed br")
+		}
+		cond, err := p.reg(fields[1])
+		if err != nil {
+			return err
+		}
+		rest := strings.TrimSpace(line[strings.Index(line, fields[1])+len(fields[1]):])
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("br needs two targets")
+		}
+		p.emit(p.f.NewInstr(Br, NoReg, cond))
+		p.pending = append(p.pending, pendingBranch{
+			block:   p.cur,
+			targets: []string{strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])},
+		})
+	case "jump":
+		if len(fields) < 2 {
+			return fmt.Errorf("jump needs a target")
+		}
+		p.emit(p.f.NewInstr(Jump, NoReg))
+		p.pending = append(p.pending, pendingBranch{block: p.cur, targets: []string{fields[1]}})
+	case "ret":
+		var srcs []Reg
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "ret"))
+		if rest != "" {
+			for _, rs := range strings.Split(rest, ",") {
+				r, err := p.reg(strings.TrimSpace(rs))
+				if err != nil {
+					return err
+				}
+				srcs = append(srcs, r)
+			}
+		}
+		p.emit(p.f.NewInstr(Ret, NoReg, srcs...))
+	case "nop":
+		p.emit(p.f.NewInstr(Nop, NoReg))
+	default:
+		return fmt.Errorf("unknown instruction %q", fields[0])
+	}
+	return nil
+}
+
+// assign handles "rN = ..." forms.
+func (p *parser) assign(dst Reg, rhs string) error {
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty right-hand side")
+	}
+	switch fields[0] {
+	case "const":
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed const")
+		}
+		imm, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", fields[1])
+		}
+		in := p.f.NewInstr(Const, dst)
+		in.Imm = imm
+		p.emit(in)
+	case "load":
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed load")
+		}
+		base, off, err := p.memRef(fields[1])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(Load, dst, base)
+		in.Imm = off
+		p.emit(in)
+	case "consume":
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed consume")
+		}
+		q, err := p.queueRef(fields[1])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(Consume, dst)
+		in.Queue = q
+		p.emit(in)
+	default:
+		op, ok := opByName[fields[0]]
+		if !ok || !op.HasDst() {
+			return fmt.Errorf("unknown operation %q", fields[0])
+		}
+		operands := strings.TrimSpace(rhs[len(fields[0]):])
+		var srcs []Reg
+		if operands != "" {
+			for _, rs := range strings.Split(operands, ",") {
+				r, err := p.reg(strings.TrimSpace(rs))
+				if err != nil {
+					return err
+				}
+				srcs = append(srcs, r)
+			}
+		}
+		if want := op.NumSrcs(); want >= 0 && len(srcs) != want {
+			return fmt.Errorf("%s takes %d operands, got %d", op, want, len(srcs))
+		}
+		p.emit(p.f.NewInstr(op, dst, srcs...))
+	}
+	return nil
+}
+
+// resolve wires branch targets once all blocks exist.
+func (p *parser) resolve() error {
+	for _, pb := range p.pending {
+		var succs []*Block
+		for _, name := range pb.targets {
+			b, ok := p.blocks[name]
+			if !ok {
+				return fmt.Errorf("ir: unknown branch target %q", name)
+			}
+			succs = append(succs, b)
+		}
+		pb.block.SetSuccs(succs...)
+	}
+	p.f.NumQueues = p.maxQueue
+	return nil
+}

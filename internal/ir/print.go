@@ -1,0 +1,68 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Float64Bits converts a float64 to its IEEE-754 bit pattern. It exists so
+// clients of the IR need not import math for register encoding.
+func Float64Bits(v float64) uint64 { return math.Float64bits(v) }
+
+// Float64FromBits is the inverse of Float64Bits.
+func Float64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// String renders the function as assembler-like text, one block per
+// paragraph. Duplicate block names are disambiguated with the block ID so
+// the output always parses back (see Parse).
+func (f *Function) String() string {
+	label := map[int]string{}
+	seen := map[string]bool{}
+	for _, blk := range f.Blocks {
+		name := blk.Name
+		if seen[name] {
+			name = fmt.Sprintf("%s.b%d", blk.Name, blk.ID)
+		}
+		seen[name] = true
+		label[blk.ID] = name
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", label[blk.ID])
+		if len(blk.Preds) > 0 {
+			b.WriteString("  ; preds:")
+			names := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				names[i] = label[p.ID]
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(&b, " %s", n)
+			}
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			switch {
+			case in.Op == Br && len(blk.Succs) == 2:
+				fmt.Fprintf(&b, "\tbr %s %s, %s\n", in.Srcs[0],
+					label[blk.Succs[0].ID], label[blk.Succs[1].ID])
+			case in.Op == Jump && len(blk.Succs) == 1:
+				fmt.Fprintf(&b, "\tjump %s\n", label[blk.Succs[0].ID])
+			default:
+				fmt.Fprintf(&b, "\t%s\n", in)
+			}
+		}
+	}
+	return b.String()
+}

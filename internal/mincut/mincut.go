@@ -1,0 +1,269 @@
+// Package mincut implements the graph minimum-cut machinery behind COCO's
+// communication placement: max-flow via Edmonds–Karp (the algorithm the
+// paper's implementation uses, Section 4) and Dinic (a faster drop-in used
+// by the ablation benchmarks), min-cut arc extraction from either side of
+// the flow, and the successive-pair heuristic for the NP-hard multiple
+// source–sink ("multicut") problem of Section 3.1.3.
+package mincut
+
+import "math"
+
+// Inf is the capacity used for arcs that must never participate in a cut
+// (the paper sets these costs "to infinity"). It is large enough to dominate
+// any realistic profile weight while leaving headroom against overflow.
+const Inf int64 = math.MaxInt64 / 8
+
+// ArcID identifies an arc returned by AddArc.
+type ArcID int
+
+type arc struct {
+	to   int
+	cap  int64 // residual capacity
+	orig int64 // original capacity
+}
+
+// Graph is a directed flow network. Nodes are dense integers [0, n).
+type Graph struct {
+	n    int
+	arcs []arc // arcs[2k] is the k-th forward arc, arcs[2k+1] its residual twin
+	adj  [][]int32
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddArc adds a directed arc with the given capacity and returns its ID.
+func (g *Graph) AddArc(from, to int, capacity int64) ArcID {
+	id := ArcID(len(g.arcs) / 2)
+	g.adj[from] = append(g.adj[from], int32(len(g.arcs)))
+	g.arcs = append(g.arcs, arc{to: to, cap: capacity, orig: capacity})
+	g.adj[to] = append(g.adj[to], int32(len(g.arcs)))
+	g.arcs = append(g.arcs, arc{to: from, cap: 0, orig: 0})
+	return id
+}
+
+// ArcEnds returns the endpoints of an arc.
+func (g *Graph) ArcEnds(id ArcID) (from, to int) {
+	return g.arcs[2*int(id)+1].to, g.arcs[2*int(id)].to
+}
+
+// ArcCap returns the arc's original capacity.
+func (g *Graph) ArcCap(id ArcID) int64 { return g.arcs[2*int(id)].orig }
+
+// Flow returns the flow currently routed through the arc.
+func (g *Graph) Flow(id ArcID) int64 {
+	a := g.arcs[2*int(id)]
+	return a.orig - a.cap
+}
+
+// Reset zeroes all flow, restoring original capacities.
+func (g *Graph) Reset() {
+	for i := range g.arcs {
+		g.arcs[i].cap = g.arcs[i].orig
+	}
+}
+
+// RemoveArc deletes an arc from the network (capacity zero in both
+// directions). Used by the multicut heuristic after an arc is chosen.
+func (g *Graph) RemoveArc(id ArcID) {
+	g.arcs[2*int(id)].cap = 0
+	g.arcs[2*int(id)].orig = 0
+	g.arcs[2*int(id)+1].cap = 0
+	g.arcs[2*int(id)+1].orig = 0
+}
+
+// MaxFlow computes the maximum s→t flow with Edmonds–Karp (BFS augmenting
+// paths): O(V·E²) worst case, fast in practice on CFG-shaped graphs.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	var total int64
+	parent := make([]int32, g.n) // arc index used to reach node, -1 unset
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.adj[u] {
+				a := &g.arcs[ai]
+				if a.cap > 0 && parent[a.to] == -1 {
+					parent[a.to] = ai
+					queue = append(queue, int(a.to))
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		// Find bottleneck.
+		bottleneck := Inf * 4
+		for v := t; v != s; {
+			ai := parent[v]
+			if c := g.arcs[ai].cap; c < bottleneck {
+				bottleneck = c
+			}
+			v = g.arcs[ai^1].to
+		}
+		for v := t; v != s; {
+			ai := parent[v]
+			g.arcs[ai].cap -= bottleneck
+			g.arcs[ai^1].cap += bottleneck
+			v = g.arcs[ai^1].to
+		}
+		total += bottleneck
+	}
+}
+
+// MaxFlowDinic computes the maximum flow with Dinic's algorithm: O(V²·E)
+// worst case but near-linear on the shallow graphs min-cut placement
+// produces.
+func (g *Graph) MaxFlowDinic(s, t int) int64 {
+	var total int64
+	level := make([]int32, g.n)
+	iter := make([]int, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.adj[u] {
+				a := &g.arcs[ai]
+				if a.cap > 0 && level[a.to] == -1 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, int(a.to))
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, f int64) int64
+	dfs = func(u int, f int64) int64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			ai := g.adj[u][iter[u]]
+			a := &g.arcs[ai]
+			if a.cap <= 0 || level[a.to] != level[u]+1 {
+				continue
+			}
+			d := f
+			if a.cap < d {
+				d = a.cap
+			}
+			if got := dfs(int(a.to), d); got > 0 {
+				a.cap -= got
+				g.arcs[ai^1].cap += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, Inf*4)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// reachable returns the set of nodes reachable from start over arcs with
+// residual capacity, following forward residual arcs if fwd, or arcs with
+// residual capacity *into* the frontier if traversing backwards from the
+// sink.
+func (g *Graph) residualReach(start int, backwards bool) []bool {
+	seen := make([]bool, g.n)
+	seen[start] = true
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range g.adj[u] {
+			var ok bool
+			var v int
+			if !backwards {
+				// u -> v traversable if residual capacity remains.
+				ok = g.arcs[ai].cap > 0
+				v = int(g.arcs[ai].to)
+			} else {
+				// v -> u traversable if the arc v->u has residual
+				// capacity; that arc's residual twin hangs off u.
+				ok = g.arcs[ai^1].cap > 0
+				v = int(g.arcs[ai].to)
+			}
+			if ok && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// MinCutSourceSide returns, after MaxFlow/MaxFlowDinic, the arcs of the
+// minimum cut closest to the source: arcs leaving the residual-reachable
+// set of s. For register communication this is the "earliest" placement,
+// which pipelines values to the consumer as soon as possible (Section 5's
+// pipelining discussion).
+func (g *Graph) MinCutSourceSide(s int) []ArcID {
+	seen := g.residualReach(s, false)
+	return g.crossingArcs(seen)
+}
+
+// MinCutSinkSide returns the minimum cut closest to the sink: arcs entering
+// the set of nodes that can still reach t in the residual graph. Pushing
+// cuts late maximizes sharing between source–sink pairs, which is what the
+// memory multicut heuristic wants.
+func (g *Graph) MinCutSinkSide(t int) []ArcID {
+	canReachT := g.residualReach(t, true)
+	// Source side = complement of canReachT.
+	seen := make([]bool, g.n)
+	for i := range seen {
+		seen[i] = !canReachT[i]
+	}
+	return g.crossingArcs(seen)
+}
+
+// crossingArcs returns the saturated forward arcs from the set to its
+// complement.
+func (g *Graph) crossingArcs(inSet []bool) []ArcID {
+	var out []ArcID
+	for k := 0; k < len(g.arcs)/2; k++ {
+		fwd := g.arcs[2*k]
+		from := g.arcs[2*k+1].to
+		if fwd.orig > 0 && inSet[from] && !inSet[fwd.to] {
+			out = append(out, ArcID(k))
+		}
+	}
+	return out
+}
+
+// CutCost sums the original capacities of the given arcs.
+func (g *Graph) CutCost(ids []ArcID) int64 {
+	var c int64
+	for _, id := range ids {
+		c += g.ArcCap(id)
+	}
+	return c
+}

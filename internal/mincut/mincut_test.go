@@ -1,0 +1,215 @@
+package mincut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowClassic(t *testing.T) {
+	// CLRS-style network; max flow 23.
+	g := New(6)
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 2, 10)
+	g.AddArc(2, 1, 4)
+	g.AddArc(1, 3, 12)
+	g.AddArc(3, 2, 9)
+	g.AddArc(2, 4, 14)
+	g.AddArc(4, 3, 7)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("Edmonds-Karp MaxFlow = %d, want 23", got)
+	}
+	g.Reset()
+	if got := g.MaxFlowDinic(0, 5); got != 23 {
+		t.Errorf("Dinic MaxFlow = %d, want 23", got)
+	}
+}
+
+func TestMinCutExtraction(t *testing.T) {
+	// Chain with a cheap middle arc: s -10-> a -3-> b -10-> t.
+	g := New(4)
+	g.AddArc(0, 1, 10)
+	mid := g.AddArc(1, 2, 3)
+	g.AddArc(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("MaxFlow = %d, want 3", got)
+	}
+	for _, side := range []struct {
+		name string
+		cut  []ArcID
+	}{
+		{"source", g.MinCutSourceSide(0)},
+		{"sink", g.MinCutSinkSide(3)},
+	} {
+		if len(side.cut) != 1 || side.cut[0] != mid {
+			t.Errorf("%s-side cut = %v, want [%d]", side.name, side.cut, mid)
+		}
+	}
+	if got := g.CutCost([]ArcID{mid}); got != 3 {
+		t.Errorf("CutCost = %d, want 3", got)
+	}
+}
+
+func TestSourceVsSinkSideCuts(t *testing.T) {
+	// Two equal-cost cuts: s -5-> a -5-> t. Source side picks the first
+	// arc, sink side the second.
+	g := New(3)
+	first := g.AddArc(0, 1, 5)
+	second := g.AddArc(1, 2, 5)
+	g.MaxFlow(0, 2)
+	src := g.MinCutSourceSide(0)
+	if len(src) != 1 || src[0] != first {
+		t.Errorf("source-side cut = %v, want [%d]", src, first)
+	}
+	snk := g.MinCutSinkSide(2)
+	if len(snk) != 1 || snk[0] != second {
+		t.Errorf("sink-side cut = %v, want [%d]", snk, second)
+	}
+}
+
+func TestInfiniteArcsNeverCut(t *testing.T) {
+	// s -Inf-> a -7-> b -Inf-> t: only the finite arc can be cut.
+	g := New(4)
+	g.AddArc(0, 1, Inf)
+	fin := g.AddArc(1, 2, 7)
+	g.AddArc(2, 3, Inf)
+	if got := g.MaxFlow(0, 3); got != 7 {
+		t.Fatalf("MaxFlow = %d, want 7", got)
+	}
+	cut := g.MinCutSourceSide(0)
+	if len(cut) != 1 || cut[0] != fin {
+		t.Errorf("cut = %v, want only the finite arc", cut)
+	}
+}
+
+func TestMultiCutSharesArcs(t *testing.T) {
+	// Two pairs whose paths share a late arc:
+	//   d -> m -> x -> k1
+	//   g -> x (via m? no: g -> x directly)  ... layout:
+	//   0(d) -> 2(m) -12-> 3(x) ; 1(g) -8-> 3(x) ; 3 -8-> 4 ; 4 -> sinks
+	// Pair (0,5) and pair (1,6), both routed through arc 3->4.
+	g := New(7)
+	g.AddArc(0, 2, 12)
+	g.AddArc(2, 3, 12)
+	g.AddArc(1, 3, 8)
+	shared := g.AddArc(3, 4, 8)
+	g.AddArc(4, 5, Inf)
+	g.AddArc(4, 6, Inf)
+	res := MultiCut(g, []Pair{{0, 5}, {1, 6}})
+	if res.Cost != 8 {
+		t.Errorf("MultiCut cost = %d, want 8 (shared arc)", res.Cost)
+	}
+	if len(res.Arcs) != 1 || res.Arcs[0] != shared {
+		t.Errorf("MultiCut arcs = %v, want [%d]", res.Arcs, shared)
+	}
+}
+
+func TestMultiCutIndependentDoesNotShare(t *testing.T) {
+	g := New(7)
+	g.AddArc(0, 2, 12)
+	g.AddArc(2, 3, 12)
+	g.AddArc(1, 3, 8)
+	g.AddArc(3, 4, 8)
+	g.AddArc(4, 5, Inf)
+	g.AddArc(4, 6, Inf)
+	res := MultiCutIndependent(g, []Pair{{0, 5}, {1, 6}})
+	if res.Cost != 16 {
+		t.Errorf("independent cost = %d, want 16 (8 per pair)", res.Cost)
+	}
+}
+
+func TestMultiCutAlreadyDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 5)
+	// Node 2,3 disconnected from 0.
+	g.AddArc(2, 3, 5)
+	res := MultiCut(g, []Pair{{0, 3}})
+	if res.Cost != 0 || len(res.Arcs) != 0 {
+		t.Errorf("disconnected pair produced cut %v cost %d", res.Arcs, res.Cost)
+	}
+}
+
+// TestEdmondsKarpAgreesWithDinicRandom cross-checks the two max-flow
+// implementations on random graphs.
+func TestEdmondsKarpAgreesWithDinicRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(12)
+		g := New(n)
+		h := New(n)
+		arcs := 2 * n
+		for i := 0; i < arcs; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			c := int64(1 + rng.Intn(20))
+			g.AddArc(from, to, c)
+			h.AddArc(from, to, c)
+		}
+		fg := g.MaxFlow(0, n-1)
+		fh := h.MaxFlowDinic(0, n-1)
+		if fg != fh {
+			t.Fatalf("trial %d: Edmonds-Karp=%d Dinic=%d", trial, fg, fh)
+		}
+		// Min-cut duality: cut cost equals flow value.
+		if fg > 0 {
+			cut := g.MinCutSourceSide(0)
+			if got := g.CutCost(cut); got != fg {
+				t.Fatalf("trial %d: cut cost %d != flow %d", trial, got, fg)
+			}
+			snk := g.MinCutSinkSide(n - 1)
+			if got := g.CutCost(snk); got != fg {
+				t.Fatalf("trial %d: sink cut cost %d != flow %d", trial, got, fg)
+			}
+		}
+	}
+}
+
+// TestCutDisconnects verifies that removing the extracted cut arcs actually
+// disconnects source from sink on random graphs.
+func TestCutDisconnects(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(10)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from != to {
+				g.AddArc(from, to, int64(1+rng.Intn(9)))
+			}
+		}
+		if g.MaxFlow(0, n-1) == 0 {
+			continue
+		}
+		for _, id := range g.MinCutSinkSide(n - 1) {
+			g.RemoveArc(id)
+		}
+		g.Reset()
+		if f := g.MaxFlow(0, n-1); f != 0 {
+			t.Fatalf("trial %d: flow %d remains after removing cut", trial, f)
+		}
+	}
+}
+
+func TestArcAccessors(t *testing.T) {
+	g := New(3)
+	id := g.AddArc(0, 2, 9)
+	from, to := g.ArcEnds(id)
+	if from != 0 || to != 2 {
+		t.Errorf("ArcEnds = (%d,%d), want (0,2)", from, to)
+	}
+	if g.ArcCap(id) != 9 {
+		t.Errorf("ArcCap = %d, want 9", g.ArcCap(id))
+	}
+	g.MaxFlow(0, 2)
+	if g.Flow(id) != 9 {
+		t.Errorf("Flow = %d, want 9", g.Flow(id))
+	}
+	g.Reset()
+	if g.Flow(id) != 0 {
+		t.Errorf("Flow after Reset = %d, want 0", g.Flow(id))
+	}
+}

@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"repro/internal/ir"
+	"repro/internal/pdg"
+)
+
+// DSWP implements Decoupled Software Pipelining [16]: the PDG is condensed
+// into strongly connected components (dependence cycles can never be split
+// across a pipeline), the SCC DAG is cut into numThreads contiguous stages
+// of a topological order, and stage weights are balanced so the slowest
+// pipeline stage — which bounds throughput — is as light as possible.
+// Dependences only flow forward through the pipeline.
+type DSWP struct{}
+
+// Name implements Partitioner.
+func (DSWP) Name() string { return "DSWP" }
+
+// Partition implements Partitioner.
+func (DSWP) Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error) {
+	sccs := g.SCCs()
+	weights := make([]int64, len(sccs))
+	sccOf := map[int]int{}
+	for i, c := range sccs {
+		for _, in := range c.Instrs {
+			weights[i] += weight(in, prof)
+			sccOf[in.ID] = i
+		}
+	}
+
+	// Dynamic communication cost of separating SCC a from SCC b: one
+	// value per dependence — min(producer, consumer frequency), the rate
+	// optimized placement (COCO) achieves — deduplicated per
+	// (instruction, target SCC) since one queue serves all uses there.
+	type crossKey struct {
+		from  int
+		toSCC int
+	}
+	crossing := map[crossKey]int64{}
+	for _, a := range g.Arcs {
+		fs, ts := sccOf[a.From.ID], sccOf[a.To.ID]
+		if fs == ts {
+			continue
+		}
+		k := crossKey{a.From.ID, ts}
+		need := min64(prof.BlockWeight(a.From.Block()), prof.BlockWeight(a.To.Block()))
+		if prev, seen := crossing[k]; !seen || need > prev {
+			crossing[k] = need
+		}
+	}
+	// commAcross[i] is the communication cost of cutting between SCCs
+	// i-1 and i (arcs spanning the boundary), used to break ties among
+	// equally balanced pipelines.
+	commAcross := make([]int64, len(sccs)+1)
+	for k, w := range crossing {
+		fs := sccOf[k.from]
+		lo, hi := fs, k.toSCC
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for b := lo + 1; b <= hi; b++ {
+			commAcross[b] += w
+		}
+	}
+
+	bounds := balanceContiguous(weights, numThreads, commAcross)
+
+	assign := map[*ir.Instr]int{}
+	stage := 0
+	for i, c := range sccs {
+		for stage < numThreads-1 && i >= bounds[stage] {
+			stage++
+		}
+		for _, in := range c.Instrs {
+			assign[in] = stage
+		}
+	}
+	if err := validate(f, assign, numThreads); err != nil {
+		return nil, err
+	}
+	return assign, nil
+}
+
+// balanceContiguous cuts the weight sequence into k contiguous segments
+// minimizing the maximum segment weight (the classic linear-partition
+// problem, solved by binary search over the bottleneck), breaking ties
+// among optimally balanced cuts by the communication cost of the chosen
+// boundaries (commAcross[i] is the cost of cutting between items i-1 and
+// i; pass nil to ignore). It returns the exclusive end index of each of
+// the first k-1 segments.
+func balanceContiguous(w []int64, k int, commAcross []int64) []int {
+	n := len(w)
+	var total, maxw int64
+	for _, x := range w {
+		total += x
+		if x > maxw {
+			maxw = x
+		}
+	}
+	feasible := func(cap int64) bool {
+		segments := 1
+		var acc int64
+		for _, x := range w {
+			if acc+x > cap {
+				segments++
+				acc = 0
+			}
+			acc += x
+		}
+		return segments <= k
+	}
+	lo, hi := maxw, total
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	if k == 2 {
+		// Exhaustive boundary choice: pick the cheapest-communication
+		// cut among those achieving the optimal bottleneck.
+		best, bestComm := -1, int64(1<<62)
+		var prefix int64
+		for i := 0; i <= n; i++ {
+			if i > 0 {
+				prefix += w[i-1]
+			}
+			if prefix > lo || total-prefix > lo {
+				continue
+			}
+			c := int64(0)
+			if commAcross != nil && i < len(commAcross) {
+				c = commAcross[i]
+			}
+			// Prefer boundaries that leave both stages nonempty.
+			empty := i == 0 || i == n
+			bestEmpty := best == 0 || best == n
+			better := best == -1 ||
+				(bestEmpty && !empty) ||
+				(empty == bestEmpty && c <= bestComm)
+			if better {
+				best, bestComm = i, c
+			}
+		}
+		if best >= 0 {
+			return []int{best}
+		}
+	}
+
+	// General k: greedy reconstruction under the optimal bottleneck.
+	bounds := make([]int, 0, k-1)
+	var acc int64
+	for i, x := range w {
+		if acc+x > lo && len(bounds) < k-1 {
+			bounds = append(bounds, i)
+			acc = 0
+		}
+		acc += x
+	}
+	for len(bounds) < k-1 {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}

@@ -1,0 +1,31 @@
+package partition
+
+import (
+	"repro/internal/ir"
+	"repro/internal/pdg"
+)
+
+// Fixed is a partitioner that returns a precomputed assignment. It exists
+// so tests and examples can drive MTCG/COCO with hand-crafted partitions
+// (such as the paper's figures) through the same pipeline as DSWP and
+// GREMIO.
+type Fixed struct {
+	Assignment map[*ir.Instr]int
+	Label      string
+}
+
+// Name implements Partitioner.
+func (p Fixed) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "fixed"
+}
+
+// Partition implements Partitioner.
+func (p Fixed) Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error) {
+	if err := validate(f, p.Assignment, numThreads); err != nil {
+		return nil, err
+	}
+	return p.Assignment, nil
+}

@@ -1,0 +1,545 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+)
+
+// GREMIO implements the global multi-threaded instruction scheduler of the
+// MICRO 2007 paper [15]: a hierarchical scheduler over the loop-nest tree
+// that assigns instructions to threads "based on their control relations
+// and an estimate of when instructions will be ready to execute", allowing
+// cyclic inter-thread dependences (unlike DSWP's pipeline).
+//
+// Scheduling proceeds bottom-up over the loop forest. Each loop's direct
+// instructions are list-scheduled across threads by earliest estimated
+// completion, with already-scheduled child loops appearing as atomic units
+// that occupy all threads with their per-thread costs (the scheduler may
+// swap a child's thread permutation to reduce communication). A
+// cross-thread dependence costs an estimated communication latency once per
+// execution of its producer, so partitions cross threads at low-frequency
+// points — loop live-outs and cold slices — rather than inside hot chains.
+type GREMIO struct {
+	// CommLatency is the estimated per-value cost in cycles of a
+	// cross-thread dependence. The zero value selects a default
+	// calibrated to the synchronization array.
+	CommLatency int64
+}
+
+// Name implements Partitioner.
+func (GREMIO) Name() string { return "GREMIO" }
+
+// gremioState carries one partitioning run.
+type gremioState struct {
+	f        *ir.Function
+	g        *pdg.Graph
+	prof     *ir.Profile
+	n        int // threads
+	commLat  int64
+	lf       *analysis.LoopForest
+	assign   map[*ir.Instr]int
+	weightOf map[*ir.Instr]int64
+	execsOf  map[*ir.Instr]int64
+}
+
+// Partition implements Partitioner.
+func (g GREMIO) Partition(f *ir.Function, dg *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error) {
+	commLat := g.CommLatency
+	if commLat == 0 {
+		commLat = 30
+	}
+	st := &gremioState{
+		f: f, g: dg, prof: prof, n: numThreads, commLat: commLat,
+		lf:       analysis.FindLoops(f, nil),
+		assign:   map[*ir.Instr]int{},
+		weightOf: map[*ir.Instr]int64{},
+		execsOf:  map[*ir.Instr]int64{},
+	}
+	f.Instrs(func(in *ir.Instr) {
+		if schedulable(in) {
+			st.weightOf[in] = weight(in, prof)
+			st.execsOf[in] = prof.BlockWeight(in.Block())
+		}
+	})
+
+	// Bottom-up over the loop forest, then the root region.
+	var scheduleLoop func(l *analysis.Loop) []int64
+	costs := map[*analysis.Loop][]int64{}
+	var order func(ls []*analysis.Loop)
+	order = func(ls []*analysis.Loop) {
+		for _, l := range ls {
+			order(l.Childs)
+			costs[l] = scheduleLoop(l)
+		}
+	}
+	scheduleLoop = func(l *analysis.Loop) []int64 {
+		return st.scheduleRegion(l, costs)
+	}
+	order(st.lf.TopLevel())
+	st.scheduleRegion(nil, costs)
+	st.refine()
+
+	if err := validate(f, st.assign, numThreads); err != nil {
+		return nil, err
+	}
+	return st.assign, nil
+}
+
+// refine is a Kernighan–Lin-style cleanup pass over the list-scheduled
+// assignment: each instruction moves to the thread that minimizes its total
+// communication cost plus the resulting load imbalance. List scheduling
+// places zero-predecessor instructions (constants, loads of loop-invariant
+// addresses) purely by load balance, scattering them away from their
+// consumers; a few refinement sweeps pull them back.
+func (st *gremioState) refine() {
+	load := make([]int64, st.n)
+	for in, t := range st.assign {
+		load[t] += st.weightOf[in]
+	}
+	maxLoad := func() int64 {
+		m := load[0]
+		for _, l := range load[1:] {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	// Communication cost of placing in on thread t, given the current
+	// assignment of everything else. A crossing dependence costs a few
+	// cycles of queue occupancy once per *dependence* — min(producer,
+	// consumer) executions — since optimized communication placement
+	// (COCO) communicates a value only as often as it is actually needed.
+	const occupancy = 4
+	commCost := func(in *ir.Instr, t int) int64 {
+		var c int64
+		seenSrc := map[*ir.Instr]bool{}
+		for _, a := range st.g.InArcs(in) {
+			tf, ok := st.assign[a.From]
+			if !ok || tf == t || seenSrc[a.From] {
+				continue
+			}
+			seenSrc[a.From] = true
+			c += occupancy * min64(st.execsOf[a.From], st.execsOf[in])
+		}
+		seenDst := map[int]bool{}
+		for _, a := range st.g.OutArcs(in) {
+			tt, ok := st.assign[a.To]
+			if !ok || tt == t || seenDst[tt] {
+				continue
+			}
+			seenDst[tt] = true
+			c += occupancy * min64(st.execsOf[in], st.execsOf[a.To])
+		}
+		return c
+	}
+
+	var instrs []*ir.Instr
+	st.f.Instrs(func(in *ir.Instr) {
+		if schedulable(in) {
+			instrs = append(instrs, in)
+		}
+	})
+	for sweep := 0; sweep < 4; sweep++ {
+		moved := false
+		for _, in := range instrs {
+			cur := st.assign[in]
+			w := st.weightOf[in]
+			bestT, bestScore := cur, commCost(in, cur)+maxLoad()
+			for t := 0; t < st.n; t++ {
+				if t == cur {
+					continue
+				}
+				load[cur] -= w
+				load[t] += w
+				score := commCost(in, t) + maxLoad()
+				load[cur] += w
+				load[t] -= w
+				if score < bestScore {
+					bestT, bestScore = t, score
+				}
+			}
+			if bestT != cur {
+				load[cur] -= w
+				load[bestT] += w
+				st.assign[in] = bestT
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+func schedulable(in *ir.Instr) bool { return in.Op != ir.Jump && in.Op != ir.Nop }
+
+// node is one schedulable unit of a region: a direct instruction or an
+// already-scheduled child loop.
+type node struct {
+	in    *ir.Instr      // non-nil for instruction nodes
+	child *analysis.Loop // non-nil for child-loop units
+}
+
+// scheduleRegion schedules one region — loop l's direct blocks plus its
+// immediate child loops, or (l == nil) the blocks outside all loops plus
+// the top-level loops. It fills st.assign for the region's direct
+// instructions, may permute child assignments, and returns the region's
+// per-thread cost vector.
+func (st *gremioState) scheduleRegion(l *analysis.Loop, costs map[*analysis.Loop][]int64) []int64 {
+	// Collect nodes.
+	var nodes []node
+	nodeOf := map[*ir.Instr]int{} // instruction -> node index (incl. inside children)
+	var children []*analysis.Loop
+	if l == nil {
+		children = st.lf.TopLevel()
+	} else {
+		children = l.Childs
+	}
+	childIdx := map[*analysis.Loop]int{}
+	for _, c := range children {
+		childIdx[c] = len(nodes)
+		nodes = append(nodes, node{child: c})
+	}
+	inRegion := func(b *ir.Block) bool { return st.lf.InnermostLoop(b) == l }
+	for _, b := range st.f.Blocks {
+		if l != nil && !l.Contains(b) {
+			continue
+		}
+		if inRegion(b) {
+			for _, in := range b.Instrs {
+				if schedulable(in) {
+					nodeOf[in] = len(nodes)
+					nodes = append(nodes, node{in: in})
+				}
+			}
+			continue
+		}
+		// Block belongs to some child loop: map its instructions to the
+		// immediate child containing it.
+		if l != nil || st.lf.InnermostLoop(b) != nil {
+			c := st.lf.InnermostLoop(b)
+			for c != nil && c.Parent != l {
+				c = c.Parent
+			}
+			if c != nil {
+				for _, in := range b.Instrs {
+					if schedulable(in) {
+						nodeOf[in] = childIdx[c]
+					}
+				}
+			}
+		}
+	}
+	nn := len(nodes)
+	if nn == 0 {
+		return make([]int64, st.n)
+	}
+
+	// Forward dependence DAG between nodes, with per-arc source
+	// instructions kept for communication costing.
+	type regArc struct{ from, to, srcInstrExec int }
+	preds := make([][]*pdg.Arc, nn)
+	succs := make([][]int, nn)
+	addSucc := func(a, b int) {
+		for _, s := range succs[a] {
+			if s == b {
+				return
+			}
+		}
+		succs[a] = append(succs[a], b)
+	}
+	progPos := func(in *ir.Instr) int64 {
+		return int64(in.Block().ID)<<20 | int64(in.Index())
+	}
+	for _, a := range st.g.Arcs {
+		fi, okF := nodeOf[a.From]
+		ti, okT := nodeOf[a.To]
+		if !okF || !okT || fi == ti {
+			continue
+		}
+		if progPos(a.From) < progPos(a.To) {
+			preds[ti] = append(preds[ti], a)
+			addSucc(fi, ti)
+		}
+	}
+	indeg := make([]int, nn)
+	for ti := range preds {
+		seen := map[int]bool{}
+		for _, a := range preds[ti] {
+			fi := nodeOf[a.From]
+			if !seen[fi] {
+				seen[fi] = true
+				indeg[ti]++
+			}
+		}
+	}
+
+	// Node weights and critical-path priorities.
+	nodeWeight := func(i int) int64 {
+		if nodes[i].in != nil {
+			return st.weightOf[nodes[i].in]
+		}
+		var w int64
+		for _, c := range costs[nodes[i].child] {
+			w += c
+		}
+		return w
+	}
+	prio := make([]int64, nn)
+	// Topological order via Kahn for priority computation.
+	topo := make([]int, 0, nn)
+	tmpDeg := append([]int(nil), indeg...)
+	queue := []int{}
+	for i := 0; i < nn; i++ {
+		if tmpDeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		topo = append(topo, u)
+		seen := map[int]bool{}
+		for _, s := range succs[u] {
+			if !seen[s] {
+				seen[s] = true
+				tmpDeg[s]--
+				if tmpDeg[s] == 0 {
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		var best int64
+		for _, s := range succs[u] {
+			if prio[s] > best {
+				best = prio[s]
+			}
+		}
+		prio[u] = best + nodeWeight(u)
+	}
+
+	// List scheduling.
+	avail := make([]int64, st.n)
+	finish := make([]int64, nn)
+	scheduledDeg := append([]int(nil), indeg...)
+	ready := []int{}
+	for i := 0; i < nn; i++ {
+		if scheduledDeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	blockHome := map[int]int{}
+	pop := func() int {
+		bi := 0
+		for i := 1; i < len(ready); i++ {
+			if prio[ready[i]] > prio[ready[bi]] ||
+				(prio[ready[i]] == prio[ready[bi]] && ready[i] < ready[bi]) {
+				bi = i
+			}
+		}
+		u := ready[bi]
+		ready = append(ready[:bi], ready[bi+1:]...)
+		return u
+	}
+
+	// crossCost sums communication penalties for arcs into node u if its
+	// instructions run under the given thread lookup. Crossings cost the
+	// communication latency once per dependence (min of producer and
+	// consumer frequency), modelling optimized placement.
+	crossCost := func(u int, threadOfTo func(*ir.Instr) int) int64 {
+		var c int64
+		type k struct {
+			src *ir.Instr
+			dst int
+		}
+		seen := map[k]bool{}
+		for _, a := range preds[u] {
+			tf, ok := st.assign[a.From]
+			if !ok {
+				continue
+			}
+			tt := threadOfTo(a.To)
+			if tf == tt {
+				continue
+			}
+			kk := k{a.From, tt}
+			if seen[kk] {
+				continue
+			}
+			seen[kk] = true
+			c += st.commLat * min64(st.execsOf[a.From], st.execsOf[a.To])
+		}
+		return c
+	}
+
+	for len(ready) > 0 {
+		u := pop()
+		var est int64
+		for _, a := range preds[u] {
+			fi := nodeOf[a.From]
+			if finish[fi] > est {
+				est = finish[fi]
+			}
+		}
+
+		if nd := nodes[u]; nd.in != nil {
+			in := nd.in
+			bestT, bestScore := 0, int64(-1)
+			for t := 0; t < st.n; t++ {
+				start := avail[t]
+				if est > start {
+					start = est
+				}
+				score := start + st.weightOf[in] +
+					crossCost(u, func(*ir.Instr) int { return t })
+				if home, ok := blockHome[in.Block().ID]; ok && home == t {
+					score -= st.commLat * st.execsOf[in] / 2
+				}
+				if bestScore < 0 || score < bestScore {
+					bestT, bestScore = t, score
+				}
+			}
+			st.assign[in] = bestT
+			if _, ok := blockHome[in.Block().ID]; !ok {
+				blockHome[in.Block().ID] = bestT
+			}
+			start := avail[bestT]
+			if est > start {
+				start = est
+			}
+			finish[u] = start + st.weightOf[in]
+			avail[bestT] = finish[u]
+		} else {
+			// Child loop: choose a thread permutation (identity or, for
+			// two threads, the swap) minimizing completion plus
+			// communication into the child.
+			child := nd.child
+			cv := costs[child]
+			bestPerm, bestScore := 0, int64(-1)
+			var bestFinish int64
+			for perm := 0; perm < st.n && perm < 2; perm++ {
+				mapT := func(t int) int {
+					if perm == 0 || st.n < 2 {
+						return t
+					}
+					// Swap threads 0 and 1.
+					switch t {
+					case 0:
+						return 1
+					case 1:
+						return 0
+					}
+					return t
+				}
+				var completion int64
+				for t := 0; t < st.n; t++ {
+					end := avail[mapT(t)] + cv[t]
+					if est > avail[mapT(t)] {
+						end = est + cv[t]
+					}
+					if end > completion {
+						completion = end
+					}
+				}
+				score := completion + crossCost(u, func(to *ir.Instr) int {
+					return mapT(st.assign[to])
+				})
+				if bestScore < 0 || score < bestScore {
+					bestPerm, bestScore, bestFinish = perm, score, completion
+				}
+			}
+			if bestPerm == 1 {
+				// Apply the swap to the child's instructions.
+				for in, t := range st.assign {
+					if nodeOf[in] == u {
+						switch t {
+						case 0:
+							st.assign[in] = 1
+						case 1:
+							st.assign[in] = 0
+						}
+					}
+				}
+				cv = append([]int64(nil), cv...)
+				cv[0], cv[1] = cv[1], cv[0]
+			}
+			for t := 0; t < st.n; t++ {
+				end := avail[t] + cv[t]
+				if est > avail[t] {
+					end = est + cv[t]
+				}
+				if end > avail[t] {
+					avail[t] = end
+				}
+			}
+			finish[u] = bestFinish
+		}
+
+		seen := map[int]bool{}
+		for _, s := range succs[u] {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			scheduledDeg[s]--
+			if scheduledDeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+
+	// Per-thread cost vector of this region.
+	out := make([]int64, st.n)
+	addInstr := func(in *ir.Instr) {
+		if t, ok := st.assign[in]; ok {
+			out[t] += st.weightOf[in]
+		}
+	}
+	for _, b := range st.f.Blocks {
+		if l == nil {
+			if st.lf.InnermostLoop(b) == nil {
+				for _, in := range b.Instrs {
+					if schedulable(in) {
+						addInstr(in)
+					}
+				}
+			}
+		} else if l.Contains(b) {
+			for _, in := range b.Instrs {
+				if schedulable(in) {
+					addInstr(in)
+				}
+			}
+		}
+	}
+	if l == nil {
+		for _, c := range children {
+			for t, w := range costs[c] {
+				out[t] += w
+			}
+		}
+	}
+	return out
+}
+
+// Threads returns the sorted list of thread indices actually used by an
+// assignment (a partitioner may leave threads empty on small regions).
+func Threads(assign map[*ir.Instr]int) []int {
+	set := map[int]bool{}
+	for _, t := range assign {
+		set[t] = true
+	}
+	var out []int
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}

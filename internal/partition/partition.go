@@ -1,0 +1,80 @@
+// Package partition implements the thread partitioners of the GMT
+// scheduling framework (the pluggable middle stage of Figure 2): DSWP [16],
+// which builds a pipeline of threads with acyclic inter-thread dependences,
+// and GREMIO [15], which list-schedules the loop-nest hierarchy and allows
+// cyclic inter-thread dependences.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pdg"
+)
+
+// Partitioner assigns every assignable instruction of a function to one of
+// numThreads threads, based on the PDG and profile information. This is the
+// interface new GMT schedulers plug into (Section 2: "Different GMT
+// schedulers can be implemented simply by 'plugging' different partitioners
+// in this framework").
+type Partitioner interface {
+	// Name identifies the partitioner in reports.
+	Name() string
+	// Partition returns the thread assignment. Implementations must
+	// assign every instruction except unconditional jumps and must return
+	// assignments in [0, numThreads).
+	Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error)
+}
+
+// latency estimates an instruction's execution latency in cycles, matching
+// the simulator's functional-unit model. Partitioners use it to balance
+// estimated dynamic cycles.
+func latency(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.Mul:
+		return 3
+	case ir.Div, ir.Rem:
+		return 12
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FNeg, ir.FAbs, ir.FCmpLT, ir.FCmpGT, ir.ItoF, ir.FtoI:
+		return 4
+	case ir.FDiv:
+		return 16
+	case ir.Load:
+		return 2 // optimistic L1 hit weighting
+	default:
+		return 1
+	}
+}
+
+// weight estimates the dynamic cycles contributed by an instruction: its
+// latency times its block's profile weight.
+func weight(in *ir.Instr, prof *ir.Profile) int64 {
+	return latency(in) * prof.BlockWeight(in.Block())
+}
+
+// validate checks a partition for completeness and range.
+func validate(f *ir.Function, assign map[*ir.Instr]int, numThreads int) error {
+	var err error
+	f.Instrs(func(in *ir.Instr) {
+		if err != nil || in.Op == ir.Jump || in.Op == ir.Nop {
+			return
+		}
+		t, ok := assign[in]
+		if !ok {
+			err = fmt.Errorf("partition: instruction %v unassigned", in)
+			return
+		}
+		if t < 0 || t >= numThreads {
+			err = fmt.Errorf("partition: instruction %v assigned to thread %d of %d", in, t, numThreads)
+		}
+	})
+	return err
+}
+
+// min64 returns the smaller of two int64 values.
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/testprog"
+)
+
+// profileOf runs the fixture to collect a real edge profile.
+func profileOf(t *testing.T, f *ir.Function, args []int64, mem int64) *ir.Profile {
+	t.Helper()
+	res, err := interp.Run(f, args, make(interp.Memory, mem), 1_000_000)
+	if err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	return res.Profile
+}
+
+func TestDSWPFormsAPipeline(t *testing.T) {
+	p := testprog.Fig4()
+	g := pdg.Build(p.F, p.Objects)
+	prof := profileOf(t, p.F, nil, 0)
+
+	assign, err := DSWP{}.Partition(p.F, g, prof, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	// Pipeline property: every dependence flows forward.
+	for _, a := range g.Arcs {
+		if a.From.Op == ir.Jump || a.To.Op == ir.Jump {
+			continue
+		}
+		if assign[a.From] > assign[a.To] {
+			t.Errorf("backward dependence %v: stage %d -> %d", a, assign[a.From], assign[a.To])
+		}
+	}
+	// SCCs must not be split.
+	for _, c := range g.SCCs() {
+		first := assign[c.Instrs[0]]
+		for _, in := range c.Instrs[1:] {
+			if assign[in] != first {
+				t.Errorf("SCC split across stages: %v in %d, %v in %d",
+					c.Instrs[0], first, in, assign[in])
+			}
+		}
+	}
+	// Both stages should be used on this two-loop workload.
+	if got := Threads(assign); len(got) != 2 {
+		t.Errorf("threads used = %v, want both", got)
+	}
+}
+
+func TestBalanceContiguous(t *testing.T) {
+	tests := []struct {
+		w      []int64
+		k      int
+		bounds []int
+	}{
+		// 10|10 -> cut at 1.
+		{[]int64{10, 10}, 2, []int{1}},
+		// 1,1,1,10 -> bottleneck 10: first three together.
+		{[]int64{1, 1, 1, 10}, 2, []int{3}},
+		// 10,1,1,1 -> 10 | 1,1,1.
+		{[]int64{10, 1, 1, 1}, 2, []int{1}},
+		// Everything in one stage if k exceeds items.
+		{[]int64{5}, 2, []int{1}},
+	}
+	for _, tt := range tests {
+		got := balanceContiguous(tt.w, tt.k, nil)
+		if len(got) != len(tt.bounds) {
+			t.Errorf("balance(%v, %d) = %v, want %v", tt.w, tt.k, got, tt.bounds)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.bounds[i] {
+				t.Errorf("balance(%v, %d) = %v, want %v", tt.w, tt.k, got, tt.bounds)
+				break
+			}
+		}
+	}
+}
+
+func TestGREMIOProducesValidPartition(t *testing.T) {
+	p := testprog.Fig5()
+	g := pdg.Build(p.F, p.Objects)
+	prof := profileOf(t, p.F, []int64{7, 1, 1}, 2)
+
+	assign, err := GREMIO{}.Partition(p.F, g, prof, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	p.F.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Jump {
+			return
+		}
+		if tid, ok := assign[in]; !ok || tid < 0 || tid > 1 {
+			t.Errorf("instruction %v assigned %d", in, tid)
+		}
+	})
+}
+
+// endToEnd partitions, generates naive-MTCG code and checks equivalence
+// against the single-threaded run.
+func endToEnd(t *testing.T, part Partitioner, p *testprog.Prog, args []int64, memSize int64) {
+	t.Helper()
+	g := pdg.Build(p.F, p.Objects)
+	prof := profileOf(t, p.F, args, memSize)
+	assign, err := part.Partition(p.F, g, prof, 2)
+	if err != nil {
+		t.Fatalf("%s: %v", part.Name(), err)
+	}
+	prog, err := mtcg.Generate(mtcg.NaivePlan(p.F, g, assign, 2))
+	if err != nil {
+		t.Fatalf("%s Generate: %v", part.Name(), err)
+	}
+	for _, ft := range prog.Threads {
+		if err := ft.Verify(); err != nil {
+			t.Fatalf("%s thread invalid: %v\n%s", part.Name(), err, ft)
+		}
+	}
+	st, err := interp.Run(p.F, args, make(interp.Memory, memSize), 1_000_000)
+	if err != nil {
+		t.Fatalf("ST: %v", err)
+	}
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads: prog.Threads, NumQueues: prog.NumQueues,
+		Assign: assign, Args: args, Mem: make(interp.Memory, memSize),
+		MaxSteps: 1_000_000,
+	})
+	if err != nil {
+		t.Fatalf("%s MT: %v", part.Name(), err)
+	}
+	for i := range st.LiveOuts {
+		if st.LiveOuts[i] != mt.LiveOuts[i] {
+			t.Errorf("%s: live-out %d: ST %d MT %d", part.Name(), i, st.LiveOuts[i], mt.LiveOuts[i])
+		}
+	}
+	for a := range st.Mem {
+		if st.Mem[a] != mt.Mem[a] {
+			t.Errorf("%s: mem[%d]: ST %d MT %d", part.Name(), a, st.Mem[a], mt.Mem[a])
+		}
+	}
+}
+
+func TestPartitionersEndToEnd(t *testing.T) {
+	parts := []Partitioner{DSWP{}, GREMIO{}}
+	for _, part := range parts {
+		t.Run(part.Name()+"/fig3", func(t *testing.T) {
+			endToEnd(t, part, testprog.Fig3(), []int64{5, 1, 0}, 0)
+		})
+		t.Run(part.Name()+"/fig4", func(t *testing.T) {
+			endToEnd(t, part, testprog.Fig4(), nil, 0)
+		})
+		t.Run(part.Name()+"/fig5", func(t *testing.T) {
+			endToEnd(t, part, testprog.Fig5(), []int64{7, 1, 1}, 2)
+		})
+	}
+}
+
+func TestFixedPartitionerValidates(t *testing.T) {
+	p := testprog.Fig4()
+	g := pdg.Build(p.F, p.Objects)
+	prof := profileOf(t, p.F, nil, 0)
+
+	got, err := Fixed{Assignment: p.Assign, Label: "figure"}.Partition(p.F, g, prof, 2)
+	if err != nil {
+		t.Fatalf("Fixed: %v", err)
+	}
+	if len(got) != len(p.Assign) {
+		t.Error("Fixed changed the assignment")
+	}
+
+	// Out-of-range assignment rejected.
+	bad := map[*ir.Instr]int{}
+	for in, tid := range p.Assign {
+		bad[in] = tid + 5
+	}
+	if _, err := (Fixed{Assignment: bad}).Partition(p.F, g, prof, 2); err == nil {
+		t.Error("Fixed accepted out-of-range threads")
+	}
+	// Missing assignment rejected.
+	if _, err := (Fixed{Assignment: map[*ir.Instr]int{}}).Partition(p.F, g, prof, 2); err == nil {
+		t.Error("Fixed accepted empty assignment")
+	}
+}

@@ -1,0 +1,63 @@
+package pdg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testprog"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := testprog.Fig5()
+	g := Build(p.F, p.Objects)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, p.Assign); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph pdg {") || !strings.HasSuffix(out, "}\n") {
+		t.Error("not a DOT digraph")
+	}
+	for _, want := range []string{"cluster_b", "style=dashed", "style=dotted", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Every instruction appears as a node.
+	n := strings.Count(out, "n0 [label=")
+	if n != 1 {
+		t.Errorf("instruction node n0 appears %d times", n)
+	}
+}
+
+func TestWriteCFGDOT(t *testing.T) {
+	p := testprog.Fig3()
+	var sb strings.Builder
+	if err := WriteCFGDOT(&sb, p.F); err != nil {
+		t.Fatalf("WriteCFGDOT: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph cfg {") {
+		t.Error("not a CFG digraph")
+	}
+	// Branch edges carry T/F labels.
+	if !strings.Contains(out, `[label="T"]`) || !strings.Contains(out, `[label="F"]`) {
+		t.Error("missing branch edge labels")
+	}
+	// One node per block.
+	for _, b := range p.F.Blocks {
+		if !strings.Contains(out, b.Name+":") {
+			t.Errorf("block %s missing from CFG DOT", b.Name)
+		}
+	}
+}
+
+func TestEscapeRecord(t *testing.T) {
+	in := `a{b}|c<d>"e\`
+	out := escapeRecord(in)
+	for _, meta := range []string{"{", "}", "|", "<", ">"} {
+		if strings.Contains(strings.ReplaceAll(out, "\\"+meta, ""), meta) {
+			t.Errorf("unescaped %q in %q", meta, out)
+		}
+	}
+}

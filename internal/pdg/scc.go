@@ -1,0 +1,94 @@
+package pdg
+
+import "repro/internal/ir"
+
+// SCC is a strongly connected component of the PDG: a set of instructions
+// that must stay in one DSWP pipeline stage because they form a dependence
+// cycle.
+type SCC struct {
+	Instrs []*ir.Instr
+	// Succs are the indices (into the SCC list) of components this one has
+	// arcs into.
+	Succs []int
+}
+
+// SCCs computes the strongly connected components of the graph with
+// Tarjan's algorithm and returns them in a topological order of the
+// condensation (sources first). The result also carries the condensed
+// successor relation.
+func (g *Graph) SCCs() []*SCC {
+	index := map[int]int{} // instr ID -> visitation index
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []*ir.Instr
+	var comps [][]*ir.Instr
+	counter := 0
+
+	var strongconnect func(v *ir.Instr)
+	strongconnect = func(v *ir.Instr) {
+		index[v.ID] = counter
+		low[v.ID] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v.ID] = true
+
+		for _, a := range g.out[v.ID] {
+			w := a.To
+			if _, seen := index[w.ID]; !seen {
+				strongconnect(w)
+				if low[w.ID] < low[v.ID] {
+					low[v.ID] = low[w.ID]
+				}
+			} else if onStack[w.ID] && index[w.ID] < low[v.ID] {
+				low[v.ID] = index[w.ID]
+			}
+		}
+
+		if low[v.ID] == index[v.ID] {
+			var comp []*ir.Instr
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w.ID] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+
+	g.Fn.Instrs(func(in *ir.Instr) {
+		if _, seen := index[in.ID]; !seen {
+			strongconnect(in)
+		}
+	})
+
+	// Tarjan emits components in reverse topological order; reverse them.
+	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+		comps[i], comps[j] = comps[j], comps[i]
+	}
+
+	sccOf := map[int]int{}
+	out := make([]*SCC, len(comps))
+	for ci, comp := range comps {
+		out[ci] = &SCC{Instrs: comp}
+		for _, in := range comp {
+			sccOf[in.ID] = ci
+		}
+	}
+	for ci, comp := range comps {
+		seen := map[int]bool{}
+		for _, in := range comp {
+			for _, a := range g.out[in.ID] {
+				tj := sccOf[a.To.ID]
+				if tj != ci && !seen[tj] {
+					seen[tj] = true
+					out[ci].Succs = append(out[ci].Succs, tj)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package queue implements synchronization-array queue allocation. MTCG
+// uses one queue per communicated dependence for simplicity; footnote 1 of
+// the paper notes that "a queue-allocation algorithm can reduce the number
+// of queues necessary" — the hardware provides only 256. This allocator
+// merges communications that provably share FIFO order: same producer
+// thread, same consumer thread, identical placement points. Both threads
+// emit the merged operations at the same points in the same deterministic
+// order, so pushes and pops still match pairwise.
+package queue
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+)
+
+// Allocation reports the result of queue allocation.
+type Allocation struct {
+	// Before and After are the queue counts prior to and after merging.
+	Before, After int
+	// Mapping holds the physical queue chosen for each original queue.
+	Mapping []int
+}
+
+// Allocate renumbers the queues of a generated multi-threaded program in
+// place, merging mergeable communications, and returns the allocation. The
+// program's thread functions and NumQueues are updated.
+func Allocate(prog *mtcg.Program) Allocation {
+	type groupKey struct {
+		src, dst int
+		points   string
+	}
+	pointsKey := func(c *mtcg.Comm) string {
+		pts := append([]mtcg.Point(nil), c.Points...)
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].Block.ID != pts[j].Block.ID {
+				return pts[i].Block.ID < pts[j].Block.ID
+			}
+			return pts[i].Index < pts[j].Index
+		})
+		s := ""
+		for _, pt := range pts {
+			s += fmt.Sprintf("%d.%d;", pt.Block.ID, pt.Index)
+		}
+		return s
+	}
+
+	alloc := Allocation{
+		Before:  prog.NumQueues,
+		Mapping: make([]int, prog.NumQueues),
+	}
+	groups := map[groupKey]int{}
+	next := 0
+	for _, c := range prog.Comms {
+		k := groupKey{c.Src, c.Dst, pointsKey(c)}
+		phys, ok := groups[k]
+		if !ok {
+			phys = next
+			next++
+			groups[k] = phys
+		}
+		alloc.Mapping[c.Queue] = phys
+	}
+	alloc.After = next
+
+	for _, ft := range prog.Threads {
+		ft.Instrs(func(in *ir.Instr) {
+			if in.Op.IsComm() {
+				in.Queue = alloc.Mapping[in.Queue]
+			}
+		})
+		ft.NumQueues = next
+	}
+	for _, c := range prog.Comms {
+		c.Queue = alloc.Mapping[c.Queue]
+	}
+	prog.NumQueues = next
+	return alloc
+}

@@ -1,0 +1,140 @@
+package queue_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/queue"
+	"repro/internal/testprog"
+)
+
+func generate(t *testing.T, p *testprog.Prog) *mtcg.Program {
+	t.Helper()
+	g := pdg.Build(p.F, p.Objects)
+	prog, err := mtcg.Generate(mtcg.NaivePlan(p.F, g, p.Assign, 2))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return prog
+}
+
+func TestAllocateMergesSamePairSamePoints(t *testing.T) {
+	// Craft a plan with two registers communicated at identical points:
+	// they must share a queue after allocation.
+	p := testprog.Fig4()
+	g := pdg.Build(p.F, p.Objects)
+	plan := mtcg.NaivePlan(p.F, g, p.Assign, 2)
+	// Duplicate the r1 communication under a different register to force
+	// an identical-point, same-pair pair. Use the loop counter register
+	// (also defined in thread 0): communicated at the same point as r1.
+	var r1c *mtcg.Comm
+	for _, c := range plan.Comms {
+		if c.Kind == pdg.KindReg && c.Reg == p.Regs["r1"] {
+			r1c = c
+		}
+	}
+	if r1c == nil {
+		t.Fatal("no r1 comm in naive plan")
+	}
+	extra := &mtcg.Comm{
+		Kind: pdg.KindReg, Reg: p.Regs["i"], Src: r1c.Src, Dst: r1c.Dst,
+		Points: append([]mtcg.Point(nil), r1c.Points...),
+	}
+	plan.Comms = append(plan.Comms, extra)
+
+	prog, err := mtcg.Generate(plan)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	alloc := queue.Allocate(prog)
+	if alloc.After >= alloc.Before {
+		t.Errorf("allocation did not merge: before=%d after=%d", alloc.Before, alloc.After)
+	}
+	if prog.NumQueues != alloc.After {
+		t.Errorf("program NumQueues=%d, allocation says %d", prog.NumQueues, alloc.After)
+	}
+	if r1c.Queue != extra.Queue {
+		t.Errorf("identical-point comms got queues %d and %d, want shared", r1c.Queue, extra.Queue)
+	}
+
+	// The merged program must still execute correctly.
+	st, err := interp.Run(p.F, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("ST: %v", err)
+	}
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads: prog.Threads, NumQueues: prog.NumQueues,
+		Assign: p.Assign, MaxSteps: 1_000_000,
+	})
+	if err != nil {
+		t.Fatalf("MT after allocation: %v", err)
+	}
+	if mt.LiveOuts[0] != st.LiveOuts[0] {
+		t.Errorf("live-out %d after merging, want %d", mt.LiveOuts[0], st.LiveOuts[0])
+	}
+}
+
+func TestAllocateKeepsDistinctPairsApart(t *testing.T) {
+	p := testprog.Fig5()
+	prog := generate(t, p)
+	before := map[int]*mtcg.Comm{}
+	for _, c := range prog.Comms {
+		before[c.Queue] = c
+	}
+	queue.Allocate(prog)
+	// Communications between different thread pairs or at different
+	// points must keep distinct queues.
+	seen := map[int]*mtcg.Comm{}
+	for _, c := range prog.Comms {
+		if other, dup := seen[c.Queue]; dup {
+			same := other.Src == c.Src && other.Dst == c.Dst &&
+				len(other.Points) == len(c.Points)
+			if same {
+				for i := range other.Points {
+					if other.Points[i] != c.Points[i] {
+						same = false
+					}
+				}
+			}
+			if !same {
+				t.Errorf("queue %d shared by incompatible comms %v and %v", c.Queue, other, c)
+			}
+		}
+		seen[c.Queue] = c
+	}
+}
+
+func TestAllocateRewritesInstructions(t *testing.T) {
+	p := testprog.Fig3()
+	prog := generate(t, p)
+	queue.Allocate(prog)
+	for _, ft := range prog.Threads {
+		ft.Instrs(func(in *ir.Instr) {
+			if in.Op.IsComm() {
+				if in.Queue < 0 || in.Queue >= prog.NumQueues {
+					t.Errorf("instruction %v references queue outside [0,%d)", in, prog.NumQueues)
+				}
+			}
+		})
+		if ft.NumQueues != prog.NumQueues {
+			t.Errorf("thread %s NumQueues=%d, program=%d", ft.Name, ft.NumQueues, prog.NumQueues)
+		}
+		if err := ft.Verify(); err != nil {
+			t.Errorf("thread %s invalid after allocation: %v", ft.Name, err)
+		}
+	}
+}
+
+func TestAllocateIdempotent(t *testing.T) {
+	p := testprog.Fig5()
+	prog := generate(t, p)
+	first := queue.Allocate(prog)
+	second := queue.Allocate(prog)
+	if second.Before != first.After || second.After != first.After {
+		t.Errorf("second allocation changed queues: first %d->%d, second %d->%d",
+			first.Before, first.After, second.Before, second.After)
+	}
+}

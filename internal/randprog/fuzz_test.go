@@ -1,0 +1,229 @@
+package randprog_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/partition"
+	"repro/internal/pdg"
+	"repro/internal/queue"
+	"repro/internal/randprog"
+)
+
+const fuzzSteps = 5_000_000
+
+// runST executes the original program.
+func runST(t *testing.T, p *randprog.Program) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(p.F, p.Args, append([]int64(nil), p.Mem...), fuzzSteps)
+	if err != nil {
+		t.Fatalf("single-threaded run: %v\n%s", err, p.F)
+	}
+	return res
+}
+
+// checkEquivalent generates MT code for a plan and compares against the ST
+// result.
+func checkEquivalent(t *testing.T, p *randprog.Program, plan *mtcg.Plan,
+	assign map[*ir.Instr]int, st *interp.Result, label string) {
+	t.Helper()
+	prog, err := mtcg.Generate(plan)
+	if err != nil {
+		t.Fatalf("%s: Generate: %v\n%s", label, err, p.F)
+	}
+	for _, ft := range prog.Threads {
+		if err := ft.Verify(); err != nil {
+			t.Fatalf("%s: thread invalid: %v\n%s", label, err, ft)
+		}
+	}
+	queue.Allocate(prog)
+	mt, err := interp.RunMT(interp.MTConfig{
+		Threads: prog.Threads, NumQueues: prog.NumQueues, Assign: assign,
+		Args: p.Args, Mem: append([]int64(nil), p.Mem...), MaxSteps: fuzzSteps,
+	})
+	if err != nil {
+		t.Fatalf("%s: MT run: %v\noriginal:\n%s", label, err, p.F)
+	}
+	if len(mt.LiveOuts) != len(st.LiveOuts) {
+		t.Fatalf("%s: %d live-outs, want %d", label, len(mt.LiveOuts), len(st.LiveOuts))
+	}
+	for i := range st.LiveOuts {
+		if mt.LiveOuts[i] != st.LiveOuts[i] {
+			t.Fatalf("%s: live-out %d = %d, want %d\noriginal:\n%s",
+				label, i, mt.LiveOuts[i], st.LiveOuts[i], p.F)
+		}
+	}
+	for a := range st.Mem {
+		if mt.Mem[a] != st.Mem[a] {
+			t.Fatalf("%s: mem[%d] = %d, want %d\noriginal:\n%s",
+				label, a, mt.Mem[a], st.Mem[a], p.F)
+		}
+	}
+}
+
+// randomPartition assigns every schedulable instruction a uniform random
+// thread — the adversarial case MTCG must still handle.
+func randomPartition(rng *rand.Rand, f *ir.Function, n int) map[*ir.Instr]int {
+	assign := map[*ir.Instr]int{}
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Jump || in.Op == ir.Nop {
+			return
+		}
+		assign[in] = rng.Intn(n)
+	})
+	return assign
+}
+
+func TestFuzzEquivalenceRandomPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		if err := p.F.Verify(); err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v", trial, err)
+		}
+		st := runST(t, p)
+		g := pdg.Build(p.F, p.Objects)
+		for _, threads := range []int{2, 3} {
+			assign := randomPartition(rng, p.F, threads)
+			naive := mtcg.NaivePlan(p.F, g, assign, threads)
+			checkEquivalent(t, p, naive, assign, st, "naive")
+
+			cp, err := coco.Plan(p.F, g, assign, threads, st.Profile, coco.DefaultOptions())
+			if err != nil {
+				t.Fatalf("trial %d: coco.Plan: %v\n%s", trial, err, p.F)
+			}
+			checkEquivalent(t, p, cp, assign, st, "coco")
+		}
+	}
+}
+
+func TestFuzzEquivalenceRealPartitioners(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		st := runST(t, p)
+		g := pdg.Build(p.F, p.Objects)
+		for _, part := range []partition.Partitioner{partition.DSWP{}, partition.GREMIO{}} {
+			assign, err := part.Partition(p.F, g, st.Profile, 2)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, part.Name(), err)
+			}
+			naive := mtcg.NaivePlan(p.F, g, assign, 2)
+			checkEquivalent(t, p, naive, assign, st, part.Name()+"/naive")
+
+			cp, err := coco.Plan(p.F, g, assign, 2, st.Profile, coco.DefaultOptions())
+			if err != nil {
+				t.Fatalf("trial %d: %s coco: %v", trial, part.Name(), err)
+			}
+			checkEquivalent(t, p, cp, assign, st, part.Name()+"/coco")
+		}
+	}
+}
+
+func TestFuzzCOCONeverIncreasesCommunication(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		st := runST(t, p)
+		g := pdg.Build(p.F, p.Objects)
+		assign, err := partition.GREMIO{}.Partition(p.F, g, st.Profile, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(plan *mtcg.Plan) int64 {
+			prog, err := mtcg.Generate(plan)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			mt, err := interp.RunMT(interp.MTConfig{
+				Threads: prog.Threads, NumQueues: prog.NumQueues, Assign: assign,
+				Args: p.Args, Mem: append([]int64(nil), p.Mem...), MaxSteps: fuzzSteps,
+			})
+			if err != nil {
+				t.Fatalf("RunMT: %v", err)
+			}
+			return mt.Stats.Comm()
+		}
+		naive := run(mtcg.NaivePlan(p.F, g, assign, 2))
+		cp, err := coco.Plan(p.F, g, assign, 2, st.Profile, coco.DefaultOptions())
+		if err != nil {
+			t.Fatalf("coco.Plan: %v", err)
+		}
+		if opt := run(cp); opt > naive {
+			t.Errorf("trial %d: COCO increased communication %d -> %d\n%s",
+				trial, naive, opt, p.F)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var totalBlocks, totalInstrs int
+	for i := 0; i < 20; i++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		if err := p.F.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		totalBlocks += len(p.F.Blocks)
+		totalInstrs += p.F.NumInstrs()
+	}
+	if totalBlocks < 20*3 {
+		t.Errorf("programs too small: %d blocks across 20 trials", totalBlocks)
+	}
+	if totalInstrs < 20*10 {
+		t.Errorf("programs too small: %d instrs across 20 trials", totalInstrs)
+	}
+}
+
+// TestFuzzPrintParseRoundTrip checks that every generated program (and its
+// generated thread functions, which contain communication instructions)
+// survives a print→parse→print round trip.
+func TestFuzzPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		text := p.F.String()
+		g, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: Parse: %v\n%s", trial, err, text)
+		}
+		if got := g.String(); got != text {
+			t.Fatalf("trial %d: round trip diverged:\n--- first ---\n%s\n--- second ---\n%s", trial, text, got)
+		}
+
+		st := runST(t, p)
+		dg := pdg.Build(p.F, p.Objects)
+		assign := randomPartition(rng, p.F, 2)
+		prog, err := mtcg.Generate(mtcg.NaivePlan(p.F, dg, assign, 2))
+		if err != nil {
+			t.Fatalf("trial %d: Generate: %v", trial, err)
+		}
+		_ = st
+		for _, ft := range prog.Threads {
+			text := ft.String()
+			g, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("trial %d: Parse thread: %v\n%s", trial, err, text)
+			}
+			if got := g.String(); got != text {
+				t.Fatalf("trial %d: thread round trip diverged:\n%s\nvs\n%s", trial, text, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package randprog generates random, structured, always-terminating IR
+// programs. The equivalence fuzz tests run each generated program through
+// every partitioner/optimizer combination and compare the multi-threaded
+// result with the single-threaded one — the strongest correctness check in
+// the repository, validating MTCG's claim of producing correct code for
+// *any* partition.
+package randprog
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Options bounds program generation.
+type Options struct {
+	// MaxDepth bounds nesting of loops and hammocks.
+	MaxDepth int
+	// MaxStmts bounds statements per block sequence.
+	MaxStmts int
+	// Arrays is the number of memory arrays (each arraySize words).
+	Arrays int
+}
+
+// DefaultOptions returns moderate sizes: programs of a few dozen blocks.
+func DefaultOptions() Options { return Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2} }
+
+const arraySize = 16
+
+// Program is one generated test case.
+type Program struct {
+	F       *ir.Function
+	Objects []ir.MemObject
+	Args    []int64
+	Mem     []int64
+}
+
+// generator carries generation state.
+type generator struct {
+	rng  *rand.Rand
+	b    *ir.Builder
+	opts Options
+	// regs are registers guaranteed to hold a value at the current
+	// program point (parameters and previously assigned temporaries).
+	regs []ir.Reg
+	objs []ir.MemObject
+	// protected registers (loop induction variables) must never be
+	// clobbered by destructive updates, or termination is lost.
+	protected map[ir.Reg]bool
+}
+
+// Generate builds one random program and a matching input.
+func Generate(rng *rand.Rand, opts Options) *Program {
+	g := &generator{rng: rng, b: ir.NewBuilder("rand"), opts: opts, protected: map[ir.Reg]bool{}}
+	for i := 0; i < opts.Arrays; i++ {
+		g.objs = append(g.objs, g.b.Array("arr", arraySize))
+	}
+	// Two integer parameters seed the data flow.
+	p1 := g.b.Param()
+	p2 := g.b.Param()
+	g.regs = append(g.regs, p1, p2)
+
+	g.stmts(opts.MaxDepth)
+
+	// Live-outs: up to three known registers.
+	var outs []ir.Reg
+	for i := 0; i < 3 && i < len(g.regs); i++ {
+		outs = append(outs, g.regs[g.rng.Intn(len(g.regs))])
+	}
+	g.b.Ret(outs...)
+	g.b.F.SplitCriticalEdges()
+
+	mem := make([]int64, g.b.MemSize())
+	for i := range mem {
+		mem[i] = int64(rng.Intn(201) - 100)
+	}
+	return &Program{
+		F:       g.b.F,
+		Objects: g.objs,
+		Args:    []int64{int64(rng.Intn(50) - 25), int64(rng.Intn(50) - 25)},
+		Mem:     mem,
+	}
+}
+
+// pick returns a random known register.
+func (g *generator) pick() ir.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
+
+// addr emits a guaranteed-in-bounds address into a random array: base +
+// (value & (arraySize-1)).
+func (g *generator) addr() ir.Reg {
+	obj := g.objs[g.rng.Intn(len(g.objs))]
+	idx := g.b.And(g.pick(), g.b.Const(arraySize-1))
+	masked := g.b.Abs(idx)
+	return g.b.Add(g.b.AddrOf(obj), masked)
+}
+
+// stmts emits a random statement sequence into the current block, possibly
+// ending in nested control flow that resumes in a fresh block.
+func (g *generator) stmts(depth int) {
+	n := 1 + g.rng.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(10); {
+		case k < 4: // arithmetic into a fresh register
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpLT, ir.CmpGT, ir.CmpEQ}
+			r := g.b.Op2(ops[g.rng.Intn(len(ops))], g.pick(), g.pick())
+			g.regs = append(g.regs, r)
+		case k < 5: // destructive update of an existing register
+			dst := g.pick()
+			if g.protected[dst] {
+				dst = g.b.F.NewReg()
+				g.regs = append(g.regs, dst)
+			}
+			g.b.Op2To(dst, ir.Add, g.pick(), g.pick())
+		case k < 6 && g.opts.Arrays > 0: // load
+			r := g.b.Load(g.addr(), 0)
+			g.regs = append(g.regs, r)
+		case k < 7 && g.opts.Arrays > 0: // store
+			g.b.Store(g.pick(), g.addr(), 0)
+		case k < 9 && depth > 0: // hammock
+			g.hammock(depth - 1)
+		case depth > 0: // bounded loop
+			g.loop(depth - 1)
+		default:
+			r := g.b.Add(g.pick(), g.b.Const(int64(g.rng.Intn(9))))
+			g.regs = append(g.regs, r)
+		}
+	}
+}
+
+// hammock emits if (cond) {stmts} [else {stmts}] converging in a new block.
+func (g *generator) hammock(depth int) {
+	then := g.b.Block("then")
+	join := g.b.Block("join")
+	els := join
+	hasElse := g.rng.Intn(2) == 0
+	if hasElse {
+		els = g.b.Block("else")
+	}
+	cond := g.b.CmpGT(g.pick(), g.pick())
+	g.b.Br(cond, then, els)
+
+	// Register discipline: values defined inside an arm may be unset on
+	// the other path; only registers known before the hammock survive.
+	outer := append([]ir.Reg(nil), g.regs...)
+
+	g.b.SetBlock(then)
+	g.stmts(depth)
+	g.b.Jump(join)
+
+	if hasElse {
+		g.regs = append(g.regs[:0], outer...)
+		g.b.SetBlock(els)
+		g.stmts(depth)
+		g.b.Jump(join)
+	}
+	g.regs = append(g.regs[:0], outer...)
+	g.b.SetBlock(join)
+}
+
+// loop emits a counted loop with a fresh induction variable (1..4
+// iterations) whose body is a random statement sequence.
+func (g *generator) loop(depth int) {
+	body := g.b.Block("body")
+	exit := g.b.Block("exit")
+	i := g.b.F.NewReg()
+	g.b.ConstTo(i, 0)
+	g.b.Jump(body)
+
+	outer := append([]ir.Reg(nil), g.regs...)
+	g.b.SetBlock(body)
+	g.regs = append(g.regs, i)
+	g.protected[i] = true
+	g.stmts(depth)
+	g.b.Op2To(i, ir.Add, i, g.b.Const(1))
+	lim := g.b.Const(int64(1 + g.rng.Intn(4)))
+	c := g.b.CmpLT(i, lim)
+	g.b.Br(c, body, exit)
+
+	g.regs = append(g.regs[:0], outer...)
+	g.b.SetBlock(exit)
+}

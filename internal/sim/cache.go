@@ -1,0 +1,132 @@
+package sim
+
+// cache is one set-associative, LRU cache level tracking only line
+// presence (timing model; data values live in the functional state).
+type cache struct {
+	sets  int
+	ways  int
+	line  int       // words per line
+	tags  [][]int64 // tags[set][way]; -1 empty
+	lru   [][]int64 // last-touch stamps
+	stamp int64
+}
+
+func newCache(sets, ways, line int) *cache {
+	c := &cache{sets: sets, ways: ways, line: line}
+	c.tags = make([][]int64, sets)
+	c.lru = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, ways)
+		c.lru[i] = make([]int64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c
+}
+
+// lineOf returns the line-granular address.
+func (c *cache) lineOf(addr int64) int64 { return addr / int64(c.line) }
+
+// lookup reports whether the line holding addr is present, refreshing LRU
+// on hit.
+func (c *cache) lookup(addr int64) bool {
+	ln := c.lineOf(addr)
+	set := int(ln % int64(c.sets))
+	for w, tag := range c.tags[set] {
+		if tag == ln {
+			c.stamp++
+			c.lru[set][w] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line holding addr, evicting the LRU way.
+func (c *cache) fill(addr int64) {
+	ln := c.lineOf(addr)
+	set := int(ln % int64(c.sets))
+	victim, oldest := 0, int64(1<<62)
+	for w, tag := range c.tags[set] {
+		if tag == -1 {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < oldest {
+			victim, oldest = w, c.lru[set][w]
+		}
+	}
+	c.stamp++
+	c.tags[set][victim] = ln
+	c.lru[set][victim] = c.stamp
+}
+
+// invalidate drops the line holding addr if present (snoop-based
+// write-invalidate coherence).
+func (c *cache) invalidate(addr int64) {
+	ln := c.lineOf(addr)
+	set := int(ln % int64(c.sets))
+	for w, tag := range c.tags[set] {
+		if tag == ln {
+			c.tags[set][w] = -1
+		}
+	}
+}
+
+// hierarchy is one core's private L1+L2 over the shared L3.
+type hierarchy struct {
+	l1, l2 *cache
+	l3     *cache // shared
+	cfg    *Config
+}
+
+// MemStats counts accesses per level.
+type MemStats struct {
+	L1Hits, L2Hits, L3Hits, MemAccesses int64
+}
+
+// load returns the latency of a load and updates cache state.
+func (h *hierarchy) load(addr int64, st *MemStats) int {
+	if h.l1.lookup(addr) {
+		st.L1Hits++
+		return h.cfg.L1Lat
+	}
+	if h.l2.lookup(addr) {
+		st.L2Hits++
+		h.l1.fill(addr)
+		return h.cfg.L2Lat
+	}
+	if h.l3.lookup(addr) {
+		st.L3Hits++
+		h.l2.fill(addr)
+		h.l1.fill(addr)
+		return h.cfg.L3Lat
+	}
+	st.MemAccesses++
+	h.l3.fill(addr)
+	h.l2.fill(addr)
+	h.l1.fill(addr)
+	return h.cfg.MemLat
+}
+
+// store performs a write-through-L1, write-back-L2 store: it fills the
+// local hierarchy and invalidates the line in every other core's private
+// caches.
+func (h *hierarchy) store(addr int64, others []*hierarchy, st *MemStats) int {
+	lat := h.cfg.L1Lat
+	if !h.l1.lookup(addr) {
+		h.l1.fill(addr)
+	}
+	if !h.l2.lookup(addr) {
+		h.l2.fill(addr)
+	}
+	if !h.l3.lookup(addr) {
+		h.l3.fill(addr)
+	}
+	for _, o := range others {
+		o.l1.invalidate(addr)
+		o.l2.invalidate(addr)
+	}
+	return lat
+}

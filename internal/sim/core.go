@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// portClass buckets instructions onto Itanium 2 issue ports. Communication
+// instructions use the M pipeline (Section 4), competing with loads and
+// stores for the 4 M-type slots.
+type portClass uint8
+
+const (
+	portALU portClass = iota
+	portMem
+	portFP
+	portBranch
+)
+
+func classify(op ir.Op) portClass {
+	switch {
+	case op.IsMemAccess() || op.IsComm():
+		return portMem
+	case op.IsFloat():
+		return portFP
+	case op.IsTerminator():
+		return portBranch
+	}
+	return portALU
+}
+
+// latencyOf returns the result latency of non-memory, non-communication
+// instructions.
+func (s *system) latencyOf(op ir.Op) int64 {
+	switch op {
+	case ir.Mul:
+		return int64(s.cfg.MulLatency)
+	case ir.Div, ir.Rem:
+		return int64(s.cfg.DivLatency)
+	case ir.FDiv, ir.FSqrt:
+		return int64(s.cfg.FDivLatency)
+	}
+	if op.IsFloat() {
+		return int64(s.cfg.FPLatency)
+	}
+	return 1
+}
+
+// stepCore issues as many instructions as the core can this cycle (in
+// order, bounded by issue width, port availability, operand readiness and
+// queue state). It returns the number of instructions issued.
+func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
+	if cycle < c.fetchReady {
+		return 0
+	}
+	cfg := &s.cfg
+	issued := 0
+	ports := [4]int{}
+	limits := [4]int{cfg.ALUPorts, cfg.MemPorts, cfg.FPPorts, cfg.BranchPorts}
+
+	for issued < cfg.IssueWidth && !c.done {
+		in := c.blk.Instrs[c.idx]
+		cls := classify(in.Op)
+		if ports[cls] >= limits[cls] {
+			break // structural hazard; in-order issue stops
+		}
+		// Operand readiness (stall-on-use: the stall happens here, at
+		// the first instruction that needs a late value).
+		opsReady := true
+		for _, r := range in.Srcs {
+			if c.ready[r] > cycle {
+				opsReady = false
+				break
+			}
+		}
+		if !opsReady {
+			break
+		}
+
+		switch in.Op {
+		case ir.Produce, ir.ProduceSync:
+			q := s.queues[in.Queue]
+			if q.inFlight() >= cfg.QueueCap {
+				return issued // queue full: blocked
+			}
+			if *saPortsUsed >= cfg.SAPorts {
+				return issued // SA request ports exhausted this cycle
+			}
+			*saPortsUsed++
+			v := int64(0)
+			if in.Op == ir.Produce {
+				v = c.regs[in.Srcs[0]]
+			}
+			q.vals = append(q.vals, v)
+			q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
+		case ir.Consume, ir.ConsumeSync:
+			q := s.queues[in.Queue]
+			if q.nextPop >= len(q.vals) {
+				return issued // nothing produced yet: blocked
+			}
+			if *saPortsUsed >= cfg.SAPorts {
+				return issued
+			}
+			*saPortsUsed++
+			v := q.vals[q.nextPop]
+			arr := q.arrival[q.nextPop]
+			q.nextPop++
+			if in.Op == ir.Consume {
+				c.regs[in.Dst] = v
+				// Stall-on-use: the consume completes now; its value
+				// becomes usable when the SA delivers it.
+				if arr < cycle+1 {
+					arr = cycle + 1
+				}
+				c.ready[in.Dst] = arr
+			}
+		case ir.Load:
+			addr := c.regs[in.Srcs[0]] + in.Imm
+			if addr < 0 || addr >= int64(len(s.mem)) {
+				s.fault(c, in, addr)
+				return issued
+			}
+			lat := c.caches.load(addr, &c.stats.Mem)
+			c.regs[in.Dst] = s.mem[addr]
+			c.ready[in.Dst] = cycle + int64(lat)
+		case ir.Store:
+			addr := c.regs[in.Srcs[1]] + in.Imm
+			if addr < 0 || addr >= int64(len(s.mem)) {
+				s.fault(c, in, addr)
+				return issued
+			}
+			var others []*hierarchy
+			for _, o := range s.cores {
+				if o != c {
+					others = append(others, o.caches)
+				}
+			}
+			c.caches.store(addr, others, &c.stats.Mem)
+			s.mem[addr] = c.regs[in.Srcs[0]]
+		case ir.Br:
+			taken := c.regs[in.Srcs[0]] != 0
+			predTaken := c.pred[in.ID] >= 2
+			if taken != predTaken {
+				c.stats.Mispreds++
+				c.fetchReady = cycle + 1 + int64(cfg.MispredictPenalty)
+			}
+			// 2-bit saturating counter update.
+			if taken && c.pred[in.ID] < 3 {
+				c.pred[in.ID]++
+			} else if !taken && c.pred[in.ID] > 0 {
+				c.pred[in.ID]--
+			}
+			next := c.blk.Succs[1]
+			if taken {
+				next = c.blk.Succs[0]
+			}
+			c.blk, c.idx = next, 0
+			ports[cls]++
+			c.stats.Instrs++
+			issued++
+			return issued // control transfer ends the issue group
+		case ir.Jump:
+			c.blk, c.idx = c.blk.Succs[0], 0
+			ports[cls]++
+			c.stats.Instrs++
+			issued++
+			return issued
+		case ir.Ret:
+			c.done = true
+			if len(in.Srcs) > 0 {
+				c.outs = []int64{}
+				for _, r := range in.Srcs {
+					c.outs = append(c.outs, c.regs[r])
+				}
+			}
+			c.stats.Instrs++
+			issued++
+			return issued
+		default:
+			execALU(in, c.regs)
+			c.ready[in.Dst] = cycle + s.latencyOf(in.Op)
+		}
+
+		ports[cls]++
+		c.stats.Instrs++
+		issued++
+		c.idx++
+	}
+	return issued
+}
+
+// fault records an out-of-range memory access and halts the core.
+func (s *system) fault(c *core, in *ir.Instr, addr int64) {
+	c.done = true
+	if s.err == nil {
+		s.err = &MemFaultError{Core: c.id, Instr: in, Addr: addr, Size: int64(len(s.mem))}
+	}
+}
+
+// execALU evaluates arithmetic/logic instructions on the core's register
+// file (the functional half of timing simulation).
+func execALU(in *ir.Instr, regs []int64) {
+	get := func(i int) int64 { return regs[in.Srcs[i]] }
+	fget := func(i int) float64 { return ir.Float64FromBits(uint64(get(i))) }
+	setf := func(v float64) { regs[in.Dst] = int64(ir.Float64Bits(v)) }
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.Nop:
+	case ir.Const:
+		regs[in.Dst] = in.Imm
+	case ir.Mov:
+		regs[in.Dst] = get(0)
+	case ir.Add:
+		regs[in.Dst] = get(0) + get(1)
+	case ir.Sub:
+		regs[in.Dst] = get(0) - get(1)
+	case ir.Mul:
+		regs[in.Dst] = get(0) * get(1)
+	case ir.Div:
+		if get(1) == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = get(0) / get(1)
+		}
+	case ir.Rem:
+		if get(1) == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = get(0) % get(1)
+		}
+	case ir.And:
+		regs[in.Dst] = get(0) & get(1)
+	case ir.Or:
+		regs[in.Dst] = get(0) | get(1)
+	case ir.Xor:
+		regs[in.Dst] = get(0) ^ get(1)
+	case ir.Shl:
+		regs[in.Dst] = get(0) << (uint64(get(1)) & 63)
+	case ir.Shr:
+		regs[in.Dst] = get(0) >> (uint64(get(1)) & 63)
+	case ir.Neg:
+		regs[in.Dst] = -get(0)
+	case ir.Not:
+		regs[in.Dst] = ^get(0)
+	case ir.Abs:
+		if v := get(0); v < 0 {
+			regs[in.Dst] = -v
+		} else {
+			regs[in.Dst] = v
+		}
+	case ir.CmpEQ:
+		regs[in.Dst] = b2i(get(0) == get(1))
+	case ir.CmpNE:
+		regs[in.Dst] = b2i(get(0) != get(1))
+	case ir.CmpLT:
+		regs[in.Dst] = b2i(get(0) < get(1))
+	case ir.CmpLE:
+		regs[in.Dst] = b2i(get(0) <= get(1))
+	case ir.CmpGT:
+		regs[in.Dst] = b2i(get(0) > get(1))
+	case ir.CmpGE:
+		regs[in.Dst] = b2i(get(0) >= get(1))
+	case ir.FAdd:
+		setf(fget(0) + fget(1))
+	case ir.FSub:
+		setf(fget(0) - fget(1))
+	case ir.FMul:
+		setf(fget(0) * fget(1))
+	case ir.FDiv:
+		setf(fget(0) / fget(1))
+	case ir.FNeg:
+		setf(-fget(0))
+	case ir.FAbs:
+		if v := fget(0); v < 0 {
+			setf(-v)
+		} else {
+			setf(v)
+		}
+	case ir.FSqrt:
+		setf(math.Sqrt(fget(0)))
+	case ir.FCmpLT:
+		regs[in.Dst] = b2i(fget(0) < fget(1))
+	case ir.FCmpGT:
+		regs[in.Dst] = b2i(fget(0) > fget(1))
+	case ir.ItoF:
+		setf(float64(get(0)))
+	case ir.FtoI:
+		regs[in.Dst] = int64(fget(0))
+	}
+}

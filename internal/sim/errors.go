@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// MemFaultError reports an out-of-range memory access during simulation.
+type MemFaultError struct {
+	Core  int
+	Instr *ir.Instr
+	Addr  int64
+	Size  int64
+}
+
+// Error implements error.
+func (e *MemFaultError) Error() string {
+	return fmt.Sprintf("sim: core %d: %v: address %d out of range [0,%d)",
+		e.Core, e.Instr, e.Addr, e.Size)
+}

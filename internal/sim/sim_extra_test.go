@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildIndependentALUChain makes n independent adds (6-wide issue should
+// retire ~6 per cycle).
+func buildIndependentALUChain(n int) *ir.Function {
+	b := ir.NewBuilder("wide")
+	x := b.Param()
+	for i := 0; i < n; i++ {
+		b.Add(x, x)
+	}
+	b.Ret()
+	return b.F
+}
+
+// buildDependentALUChain makes n serially dependent adds (one per cycle).
+func buildDependentALUChain(n int) *ir.Function {
+	b := ir.NewBuilder("serial")
+	x := b.Param()
+	cur := x
+	for i := 0; i < n; i++ {
+		cur = b.Add(cur, x)
+	}
+	b.Ret(cur)
+	return b.F
+}
+
+func TestIssueWidthExploitsILP(t *testing.T) {
+	cfg := DefaultConfig()
+	n := 600
+	wide, err := RunSingle(cfg, buildIndependentALUChain(n), []int64{1}, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunSingle(cfg, buildDependentALUChain(n), []int64{1}, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent ops issue up to 6/cycle; dependent ops at 1/cycle.
+	if wide.Cycles*3 > serial.Cycles {
+		t.Errorf("ILP not exploited: independent %d cycles vs dependent %d",
+			wide.Cycles, serial.Cycles)
+	}
+	if ipc := wide.IPC(); ipc < 3 {
+		t.Errorf("IPC of independent adds = %.2f, want > 3", ipc)
+	}
+	if ipc := serial.IPC(); ipc > 1.5 {
+		t.Errorf("IPC of dependent chain = %.2f, want ~1", ipc)
+	}
+}
+
+func TestMemPortLimitThrottlesLoads(t *testing.T) {
+	// 400 independent loads of the same cached address: bounded by the 4
+	// M-type slots per cycle, not the 6-wide issue.
+	b := ir.NewBuilder("memports")
+	addr := b.Const(0)
+	for i := 0; i < 400; i++ {
+		b.Load(addr, 0)
+	}
+	b.Ret()
+	res, err := RunSingle(DefaultConfig(), b.F, nil, make([]int64, 8), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 100 {
+		t.Errorf("%d cycles for 400 loads; 4 memory ports should bound this at >= 100", res.Cycles)
+	}
+}
+
+func TestSAPortContentionSharedBetweenCores(t *testing.T) {
+	// Two cores each performing produce->consume chatter share the 4 SA
+	// ports; with 1 port total the same program takes longer.
+	mk := func(producer bool, n int64) *ir.Function {
+		f := ir.NewFunction("chatter")
+		f.NumQueues = 2
+		entry := f.NewBlock("entry")
+		loop := f.NewBlock("loop")
+		exit := f.NewBlock("exit")
+		i, one, lim, c, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+		ci := f.NewInstr(ir.Const, i)
+		entry.Append(ci)
+		c1 := f.NewInstr(ir.Const, one)
+		c1.Imm = 1
+		entry.Append(c1)
+		cl := f.NewInstr(ir.Const, lim)
+		cl.Imm = n
+		entry.Append(cl)
+		entry.Append(f.NewInstr(ir.Jump, ir.NoReg))
+		entry.SetSuccs(loop)
+		q0, q1 := 0, 1
+		if !producer {
+			q0, q1 = 1, 0
+		}
+		p := f.NewInstr(ir.Produce, ir.NoReg, i)
+		p.Queue = q0
+		loop.Append(p)
+		cons := f.NewInstr(ir.Consume, v)
+		cons.Queue = q1
+		loop.Append(cons)
+		loop.Append(f.NewInstr(ir.Add, i, i, one))
+		loop.Append(f.NewInstr(ir.CmpLT, c, i, lim))
+		loop.Append(f.NewInstr(ir.Br, ir.NoReg, c))
+		loop.SetSuccs(loop, exit)
+		exit.Append(f.NewInstr(ir.Ret, ir.NoReg))
+		return f
+	}
+	run := func(ports int) int64 {
+		cfg := DefaultConfig()
+		cfg.SAPorts = ports
+		res, err := Run(cfg, []*ir.Function{mk(true, 400), mk(false, 400)}, nil, nil, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	wide, narrow := run(4), run(1)
+	if narrow <= wide {
+		t.Errorf("1 SA port (%d cycles) should be slower than 4 (%d cycles)", narrow, wide)
+	}
+}
+
+func TestMispredictPenaltySlowsAlternatingBranch(t *testing.T) {
+	// A branch alternating taken/not-taken defeats 2-bit prediction.
+	build := func() *ir.Function {
+		b := ir.NewBuilder("alt")
+		loop := b.Block("loop")
+		a := b.Block("a")
+		bb := b.Block("b")
+		latch := b.Block("latch")
+		exit := b.Block("exit")
+		i := b.F.NewReg()
+		b.ConstTo(i, 0)
+		b.Jump(loop)
+		b.SetBlock(loop)
+		par := b.And(i, b.Const(1))
+		b.Br(par, a, bb)
+		b.SetBlock(a)
+		b.Jump(latch)
+		b.SetBlock(bb)
+		b.Jump(latch)
+		b.SetBlock(latch)
+		b.Op2To(i, ir.Add, i, b.Const(1))
+		c := b.CmpLT(i, b.Const(400))
+		b.Br(c, loop, exit)
+		b.SetBlock(exit)
+		b.Ret(i)
+		b.F.SplitCriticalEdges()
+		return b.F
+	}
+	fast := DefaultConfig()
+	fast.MispredictPenalty = 0
+	slow := DefaultConfig()
+	slow.MispredictPenalty = 20
+
+	rf, err := RunSingle(fast, build(), nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunSingle(slow, build(), nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.PerCore[0].Mispreds < 100 {
+		t.Errorf("alternating branch mispredicted only %d times", rs.PerCore[0].Mispreds)
+	}
+	if rs.Cycles <= rf.Cycles {
+		t.Errorf("mispredict penalty had no effect: %d vs %d cycles", rs.Cycles, rf.Cycles)
+	}
+}
+
+func TestCoherenceInvalidation(t *testing.T) {
+	// Core 0 stores to a line; core 1 then loads it. The line was
+	// invalidated in core 1's private caches, so its load must go at
+	// least to the shared L3 — observable as a non-L1 hit.
+	// Handshake: reader warms its cache, signals q0; writer stores,
+	// signals q1; reader reloads.
+	mkWriter := func() *ir.Function {
+		f := ir.NewFunction("w")
+		f.NumQueues = 2
+		e := f.NewBlock("entry")
+		addr := f.NewReg()
+		ca := f.NewInstr(ir.Const, addr)
+		e.Append(ca)
+		v := f.NewReg()
+		cv := f.NewInstr(ir.Const, v)
+		cv.Imm = 42
+		e.Append(cv)
+		c := f.NewInstr(ir.ConsumeSync, ir.NoReg)
+		c.Queue = 0
+		e.Append(c)
+		st := f.NewInstr(ir.Store, ir.NoReg, v, addr)
+		e.Append(st)
+		p := f.NewInstr(ir.ProduceSync, ir.NoReg)
+		p.Queue = 1
+		e.Append(p)
+		e.Append(f.NewInstr(ir.Ret, ir.NoReg))
+		return f
+	}
+	mkReader := func() *ir.Function {
+		f := ir.NewFunction("r")
+		f.NumQueues = 2
+		e := f.NewBlock("entry")
+		addr := f.NewReg()
+		ca := f.NewInstr(ir.Const, addr)
+		e.Append(ca)
+		// Warm the reader's cache.
+		v1 := f.NewReg()
+		l1 := f.NewInstr(ir.Load, v1, addr)
+		e.Append(l1)
+		p := f.NewInstr(ir.ProduceSync, ir.NoReg)
+		p.Queue = 0
+		e.Append(p)
+		c := f.NewInstr(ir.ConsumeSync, ir.NoReg)
+		c.Queue = 1
+		e.Append(c)
+		v2 := f.NewReg()
+		l2 := f.NewInstr(ir.Load, v2, addr)
+		e.Append(l2)
+		ret := f.NewInstr(ir.Ret, ir.NoReg, v2)
+		e.Append(ret)
+		return f
+	}
+	res, err := Run(DefaultConfig(), []*ir.Function{mkWriter(), mkReader()}, nil, make([]int64, 8), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveOuts[0] != 42 {
+		t.Fatalf("reader saw %d, want 42", res.LiveOuts[0])
+	}
+	// Reader: first load misses (cold), second load misses again because
+	// of the invalidation — at most zero L1 hits.
+	if res.PerCore[1].Mem.L1Hits != 0 {
+		t.Errorf("reader had %d L1 hits; invalidation should have evicted the line",
+			res.PerCore[1].Mem.L1Hits)
+	}
+}

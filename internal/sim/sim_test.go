@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/testprog"
+)
+
+func TestRunSingleMatchesInterpreter(t *testing.T) {
+	p := testprog.Fig4()
+	want, err := interp.Run(p.F, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	got, err := RunSingle(DefaultConfig(), p.F, nil, nil, 10_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if len(got.LiveOuts) != 1 || got.LiveOuts[0] != want.LiveOuts[0] {
+		t.Errorf("live-outs: sim %v, interp %v", got.LiveOuts, want.LiveOuts)
+	}
+	if got.PerCore[0].Instrs != want.Steps {
+		t.Errorf("instr count: sim %d, interp %d", got.PerCore[0].Instrs, want.Steps)
+	}
+	// A 6-issue core cannot beat instrs/6 cycles and in-order execution
+	// cannot beat 1 instruction per dependent chain step.
+	if got.Cycles < got.PerCore[0].Instrs/6 {
+		t.Errorf("cycles %d implausibly low for %d instrs", got.Cycles, got.PerCore[0].Instrs)
+	}
+}
+
+func TestMultiThreadedSimMatchesInterpreter(t *testing.T) {
+	p := testprog.Fig5()
+	g := pdg.Build(p.F, p.Objects)
+	pl, err := coco.Plan(p.F, g, p.Assign, 2, p.Profile, coco.DefaultOptions())
+	if err != nil {
+		t.Fatalf("coco: %v", err)
+	}
+	prog, err := mtcg.Generate(pl)
+	if err != nil {
+		t.Fatalf("mtcg: %v", err)
+	}
+	for _, p2 := range []int64{0, 1} {
+		args := []int64{9, p2, 1}
+		st, err := interp.Run(p.F, args, make(interp.Memory, 2), 1_000_000)
+		if err != nil {
+			t.Fatalf("interp: %v", err)
+		}
+		res, err := Run(DefaultConfig(), prog.Threads, args, make([]int64, 2), 10_000_000)
+		if err != nil {
+			t.Fatalf("sim MT: %v", err)
+		}
+		for i := range st.LiveOuts {
+			if res.LiveOuts[i] != st.LiveOuts[i] {
+				t.Errorf("p2=%d live-out %d: sim %d, interp %d", p2, i, res.LiveOuts[i], st.LiveOuts[i])
+			}
+		}
+		for a := range st.Mem {
+			if res.Mem[a] != st.Mem[a] {
+				t.Errorf("p2=%d mem[%d]: sim %d, interp %d", p2, a, res.Mem[a], st.Mem[a])
+			}
+		}
+	}
+}
+
+// buildLoadLoop loads mem[0] n times.
+func buildLoadLoop(n int64) (*ir.Function, []ir.MemObject) {
+	b := ir.NewBuilder("loads")
+	arr := b.Array("a", 8)
+	loop := b.Block("loop")
+	exit := b.Block("exit")
+	i := b.F.NewReg()
+	b.ConstTo(i, 0)
+	base := b.AddrOf(arr)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	v := b.Load(base, 0)
+	one := b.Const(1)
+	b.Op2To(i, ir.Add, i, one)
+	lim := b.Const(n)
+	c := b.CmpLT(i, lim)
+	b.Br(c, loop, exit)
+	b.SetBlock(exit)
+	b.Ret(v)
+	b.F.SplitCriticalEdges()
+	return b.F, b.Objects
+}
+
+func TestCacheHitsAfterFirstMiss(t *testing.T) {
+	f, _ := buildLoadLoop(100)
+	res, err := RunSingle(DefaultConfig(), f, nil, make([]int64, 8), 1_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	st := res.PerCore[0].Mem
+	if st.MemAccesses != 1 {
+		t.Errorf("memory accesses = %d, want 1 (cold miss only)", st.MemAccesses)
+	}
+	if st.L1Hits != 99 {
+		t.Errorf("L1 hits = %d, want 99", st.L1Hits)
+	}
+}
+
+func TestColdMissesDominateLargeScan(t *testing.T) {
+	// Scanning 4096 words with 8-word L1 lines: 512 cold L1 misses that
+	// hit nothing below.
+	b := ir.NewBuilder("scan")
+	arr := b.Array("big", 4096)
+	loop := b.Block("loop")
+	exit := b.Block("exit")
+	i := b.F.NewReg()
+	sum := b.F.NewReg()
+	b.ConstTo(i, 0)
+	b.ConstTo(sum, 0)
+	base := b.AddrOf(arr)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	pa := b.Add(base, i)
+	v := b.Load(pa, 0)
+	b.Op2To(sum, ir.Add, sum, v)
+	one := b.Const(1)
+	b.Op2To(i, ir.Add, i, one)
+	lim := b.Const(4096)
+	c := b.CmpLT(i, lim)
+	b.Br(c, loop, exit)
+	b.SetBlock(exit)
+	b.Ret(sum)
+	b.F.SplitCriticalEdges()
+
+	res, err := RunSingle(DefaultConfig(), b.F, nil, make([]int64, 4096), 10_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	st := res.PerCore[0].Mem
+	// 512 L1 misses (8-word lines); every other one hits the 16-word L2
+	// line fetched by the previous miss, so 256 go to memory.
+	if st.MemAccesses != 256 {
+		t.Errorf("memory accesses = %d, want 256 (one per 16-word line)", st.MemAccesses)
+	}
+	if st.L2Hits != 256 {
+		t.Errorf("L2 hits = %d, want 256", st.L2Hits)
+	}
+	if st.L1Hits != 4096-512 {
+		t.Errorf("L1 hits = %d, want %d", st.L1Hits, 4096-512)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	f, _ := buildLoadLoop(1000)
+	res, err := RunSingle(DefaultConfig(), f, nil, make([]int64, 8), 10_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	// A 2-bit counter mispredicts a monotone loop branch only a few
+	// times (warm-up and the final exit).
+	if res.PerCore[0].Mispreds > 4 {
+		t.Errorf("mispredictions = %d, want <= 4 for a simple loop", res.PerCore[0].Mispreds)
+	}
+}
+
+func TestMemoryFaultSurfaces(t *testing.T) {
+	b := ir.NewBuilder("fault")
+	addr := b.Const(999)
+	v := b.Load(addr, 0)
+	b.Ret(v)
+	_, err := RunSingle(DefaultConfig(), b.F, nil, make([]int64, 4), 1000)
+	var mf *MemFaultError
+	if !errors.As(err, &mf) {
+		t.Fatalf("err = %v, want MemFaultError", err)
+	}
+	if mf.Addr != 999 {
+		t.Errorf("fault address = %d, want 999", mf.Addr)
+	}
+}
+
+func TestQueueOverflowBlocksWithoutDeadlock(t *testing.T) {
+	// Producer floods a queue far beyond its capacity while the consumer
+	// drains slowly; the run must complete with bounded queue occupancy
+	// (completion itself proves blocking works).
+	n := int64(500)
+	mk := func(producer bool) *ir.Function {
+		f := ir.NewFunction("side")
+		f.NumQueues = 1
+		entry := f.NewBlock("entry")
+		loop := f.NewBlock("loop")
+		exit := f.NewBlock("exit")
+		i := f.NewReg()
+		one := f.NewReg()
+		lim := f.NewReg()
+		c := f.NewReg()
+		ci := f.NewInstr(ir.Const, i)
+		ci.Imm = 0
+		c1 := f.NewInstr(ir.Const, one)
+		c1.Imm = 1
+		cl := f.NewInstr(ir.Const, lim)
+		cl.Imm = n
+		entry.Append(ci)
+		entry.Append(c1)
+		entry.Append(cl)
+		entry.Append(f.NewInstr(ir.Jump, ir.NoReg))
+		entry.SetSuccs(loop)
+		var comm *ir.Instr
+		if producer {
+			comm = f.NewInstr(ir.Produce, ir.NoReg, i)
+		} else {
+			comm = f.NewInstr(ir.Consume, f.NewReg())
+		}
+		comm.Queue = 0
+		loop.Append(comm)
+		if !producer {
+			// Slow consumer: extra serial work per iteration.
+			prev := f.NewReg()
+			pc := f.NewInstr(ir.Const, prev)
+			pc.Imm = 3
+			loop.Append(pc)
+			for k := 0; k < 6; k++ {
+				loop.Append(f.NewInstr(ir.Mul, prev, prev, prev))
+			}
+		}
+		loop.Append(f.NewInstr(ir.Add, i, i, one))
+		loop.Append(f.NewInstr(ir.CmpLT, c, i, lim))
+		loop.Append(f.NewInstr(ir.Br, ir.NoReg, c))
+		loop.SetSuccs(loop, exit)
+		exit.Append(f.NewInstr(ir.Ret, ir.NoReg))
+		return f
+	}
+	res, err := Run(DefaultConfig(), []*ir.Function{mk(true), mk(false)}, nil, nil, 10_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles simulated")
+	}
+}
+
+func TestTooManyQueuesRejected(t *testing.T) {
+	f := ir.NewFunction("q")
+	f.NumQueues = 10_000
+	e := f.NewBlock("entry")
+	e.Append(f.NewInstr(ir.Ret, ir.NoReg))
+	if _, err := Run(DefaultConfig(), []*ir.Function{f}, nil, nil, 1000); err == nil {
+		t.Error("Run accepted a program needing more queues than the SA has")
+	}
+}
+
+func TestDefaultConfigMatchesFig6a(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.IssueWidth != 6 || cfg.MemPorts != 4 || cfg.FPPorts != 2 || cfg.BranchPorts != 3 {
+		t.Error("functional unit mix does not match Figure 6(a)")
+	}
+	if cfg.L1Lat != 1 || cfg.L3Lat != 12 || cfg.MemLat != 141 {
+		t.Error("latencies do not match Figure 6(a)")
+	}
+	if cfg.L1Sets*cfg.L1Ways*cfg.L1Line != 2048 { // 16KB / 8B words
+		t.Errorf("L1 capacity = %d words, want 2048", cfg.L1Sets*cfg.L1Ways*cfg.L1Line)
+	}
+	if cfg.L2Sets*cfg.L2Ways*cfg.L2Line != 32768 { // 256KB
+		t.Errorf("L2 capacity = %d words, want 32768", cfg.L2Sets*cfg.L2Ways*cfg.L2Line)
+	}
+	if cfg.L3Sets*cfg.L3Ways*cfg.L3Line != 196608 { // 1.5MB in 8-byte words
+		t.Errorf("L3 capacity = %d words, want 196608", cfg.L3Sets*cfg.L3Ways*cfg.L3Line)
+	}
+	if cfg.NumQueues != 256 || cfg.SAPorts != 4 || cfg.SALatency != 1 {
+		t.Error("synchronization array does not match Section 4")
+	}
+}

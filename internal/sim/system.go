@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ErrNoProgress is returned when no core issues an instruction for an
+// implausibly long window, indicating a queue-placement deadlock.
+var ErrNoProgress = errors.New("sim: no core made progress")
+
+// ErrCycleLimit is returned when the cycle budget is exhausted.
+var ErrCycleLimit = errors.New("sim: cycle limit exceeded")
+
+// CoreStats aggregates one core's activity.
+type CoreStats struct {
+	Instrs   int64
+	Mem      MemStats
+	Mispreds int64
+	// IssueStallCycles counts cycles where the core issued nothing while
+	// still having work.
+	IssueStallCycles int64
+}
+
+// Result is the outcome of a timed run.
+type Result struct {
+	Cycles   int64
+	PerCore  []CoreStats
+	LiveOuts []int64
+	Mem      []int64
+}
+
+// IPC returns total instructions per cycle across cores.
+func (r *Result) IPC() float64 {
+	var n int64
+	for _, c := range r.PerCore {
+		n += c.Instrs
+	}
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Cycles)
+}
+
+// saQueue is one synchronization-array queue's timing+value state.
+type saQueue struct {
+	vals    []int64
+	arrival []int64 // cycle each value becomes visible to the consumer
+	nextPop int     // index of next value to consume
+}
+
+func (q *saQueue) inFlight() int { return len(q.vals) - q.nextPop }
+
+// core is one in-order processor.
+type core struct {
+	id    int
+	fn    *ir.Function
+	regs  []int64
+	ready []int64 // reg -> cycle the value is available
+	blk   *ir.Block
+	idx   int
+	done  bool
+	// fetchReady is the first cycle issue may resume after a mispredict.
+	fetchReady int64
+	caches     *hierarchy
+	pred       []uint8 // 2-bit predictor state per instruction ID
+	outs       []int64
+	stats      CoreStats
+}
+
+// system couples the cores, the shared L3, and the SA.
+type system struct {
+	cfg    Config
+	cores  []*core
+	queues []*saQueue
+	mem    []int64
+	err    error // first memory fault
+}
+
+// Run simulates the threads to completion on the configured machine and
+// returns timing and functional results. The thread functions must all take
+// the same parameters; mem is the shared memory image (mutated).
+func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycles int64) (*Result, error) {
+	if len(threads) > cfg.Cores {
+		return nil, fmt.Errorf("sim: %d threads exceed %d cores", len(threads), cfg.Cores)
+	}
+	numQueues := 0
+	for _, f := range threads {
+		if f.NumQueues > numQueues {
+			numQueues = f.NumQueues
+		}
+	}
+	if numQueues > cfg.NumQueues {
+		return nil, fmt.Errorf("sim: program needs %d queues, hardware has %d (run queue allocation)",
+			numQueues, cfg.NumQueues)
+	}
+
+	l3 := newCache(cfg.L3Sets, cfg.L3Ways, cfg.L3Line)
+	sys := &system{cfg: cfg, mem: mem}
+	for i, f := range threads {
+		if len(args) != len(f.Params) {
+			return nil, fmt.Errorf("sim: thread %s takes %d params, got %d", f.Name, len(f.Params), len(args))
+		}
+		c := &core{
+			id:    i,
+			fn:    f,
+			regs:  make([]int64, int(f.MaxReg())+1),
+			ready: make([]int64, int(f.MaxReg())+1),
+			blk:   f.Entry(),
+			pred:  make([]uint8, f.NumInstrIDs()),
+			caches: &hierarchy{
+				l1:  newCache(cfg.L1Sets, cfg.L1Ways, cfg.L1Line),
+				l2:  newCache(cfg.L2Sets, cfg.L2Ways, cfg.L2Line),
+				l3:  l3,
+				cfg: &cfg,
+			},
+		}
+		for j, p := range f.Params {
+			c.regs[p] = args[j]
+		}
+		sys.cores = append(sys.cores, c)
+	}
+	sys.queues = make([]*saQueue, numQueues)
+	for i := range sys.queues {
+		sys.queues[i] = &saQueue{}
+	}
+
+	var cycle, lastProgress int64
+	for {
+		saPortsUsed := 0
+		allDone := true
+		anyIssued := false
+		for _, c := range sys.cores {
+			if c.done {
+				continue
+			}
+			allDone = false
+			issued := sys.stepCore(c, cycle, &saPortsUsed)
+			if issued > 0 {
+				anyIssued = true
+			} else {
+				c.stats.IssueStallCycles++
+			}
+		}
+		if sys.err != nil {
+			return nil, sys.err
+		}
+		if allDone {
+			break
+		}
+		if anyIssued {
+			lastProgress = cycle
+		}
+		if cycle-lastProgress > 2_000_000 {
+			return nil, fmt.Errorf("%w for %d cycles at cycle %d", ErrNoProgress, cycle-lastProgress, cycle)
+		}
+		cycle++
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
+		}
+	}
+
+	res := &Result{Cycles: cycle, Mem: mem}
+	for _, c := range sys.cores {
+		res.PerCore = append(res.PerCore, c.stats)
+		if c.outs != nil {
+			res.LiveOuts = c.outs
+		}
+	}
+	return res, nil
+}
+
+// RunSingle times a single-threaded function on one core of the machine —
+// the baseline of Figure 8.
+func RunSingle(cfg Config, f *ir.Function, args []int64, mem []int64, maxCycles int64) (*Result, error) {
+	return Run(cfg, []*ir.Function{f}, args, mem, maxCycles)
+}

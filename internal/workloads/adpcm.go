@@ -1,0 +1,346 @@
+package workloads
+
+import "repro/internal/ir"
+
+// stepsizeTable is the standard IMA ADPCM quantizer lookup table.
+var stepsizeTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// indexTable is the IMA ADPCM index adjustment table.
+var indexTable = []int64{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+const adpcmMaxN = 16384
+
+// ADPCMDec builds the adpcm_decoder kernel (MediaBench adpcmdec, 100% of
+// execution): a single loop with a chain of data-dependent hammocks
+// updating the predictor state, the benchmark shape of Figure 1's left
+// columns.
+func ADPCMDec() *Workload {
+	b := ir.NewBuilder("adpcmdec")
+	stepObj := b.Array("stepsizeTable", int64(len(stepsizeTable)))
+	idxObj := b.Array("indexTable", int64(len(indexTable)))
+	inObj := b.Array("in", adpcmMaxN)
+	outObj := b.Array("out", adpcmMaxN)
+	n := b.Param()
+
+	loop := b.Block("loop")
+	bit4 := b.Block("bit4")
+	chk2 := b.Block("chk2")
+	bit2 := b.Block("bit2")
+	chk1 := b.Block("chk1")
+	bit1 := b.Block("bit1")
+	sign := b.Block("sign")
+	signNeg := b.Block("signNeg")
+	signPos := b.Block("signPos")
+	clampLo := b.Block("clampLo")
+	setLo := b.Block("setLo")
+	clampHi := b.Block("clampHi")
+	setHi := b.Block("setHi")
+	idxUpd := b.Block("idxUpd")
+	setIdx0 := b.Block("setIdx0")
+	chkIdxHi := b.Block("chkIdxHi")
+	setIdx88 := b.Block("setIdx88")
+	store := b.Block("store")
+	exit := b.Block("exit")
+
+	f := b.F
+	i := f.NewReg()
+	valpred := f.NewReg()
+	index := f.NewReg()
+	diffq := f.NewReg()
+	code := f.NewReg()
+	stepv := f.NewReg()
+
+	b.ConstTo(i, 0)
+	b.ConstTo(valpred, 0)
+	b.ConstTo(index, 0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	b.LoadTo(code, b.Add(b.AddrOf(inObj), i), 0)
+	b.LoadTo(stepv, b.Add(b.AddrOf(stepObj), index), 0)
+	b.Op2To(diffq, ir.Shr, stepv, b.Const(3))
+	b.Br(b.And(code, b.Const(4)), bit4, chk2)
+
+	b.SetBlock(bit4)
+	b.Op2To(diffq, ir.Add, diffq, stepv)
+	b.Jump(chk2)
+
+	b.SetBlock(chk2)
+	b.Br(b.And(code, b.Const(2)), bit2, chk1)
+
+	b.SetBlock(bit2)
+	b.Op2To(diffq, ir.Add, diffq, b.Shr(stepv, b.Const(1)))
+	b.Jump(chk1)
+
+	b.SetBlock(chk1)
+	b.Br(b.And(code, b.Const(1)), bit1, sign)
+
+	b.SetBlock(bit1)
+	b.Op2To(diffq, ir.Add, diffq, b.Shr(stepv, b.Const(2)))
+	b.Jump(sign)
+
+	b.SetBlock(sign)
+	b.Br(b.And(code, b.Const(8)), signNeg, signPos)
+
+	b.SetBlock(signNeg)
+	b.Op2To(valpred, ir.Sub, valpred, diffq)
+	b.Jump(clampLo)
+
+	b.SetBlock(signPos)
+	b.Op2To(valpred, ir.Add, valpred, diffq)
+	b.Jump(clampLo)
+
+	b.SetBlock(clampLo)
+	b.Br(b.CmpLT(valpred, b.Const(-32768)), setLo, clampHi)
+
+	b.SetBlock(setLo)
+	b.ConstTo(valpred, -32768)
+	b.Jump(idxUpd)
+
+	b.SetBlock(clampHi)
+	b.Br(b.CmpGT(valpred, b.Const(32767)), setHi, idxUpd)
+
+	b.SetBlock(setHi)
+	b.ConstTo(valpred, 32767)
+	b.Jump(idxUpd)
+
+	b.SetBlock(idxUpd)
+	delta := b.Load(b.Add(b.AddrOf(idxObj), code), 0)
+	b.Op2To(index, ir.Add, index, delta)
+	b.Br(b.CmpLT(index, b.Const(0)), setIdx0, chkIdxHi)
+
+	b.SetBlock(setIdx0)
+	b.ConstTo(index, 0)
+	b.Jump(store)
+
+	b.SetBlock(chkIdxHi)
+	b.Br(b.CmpGT(index, b.Const(88)), setIdx88, store)
+
+	b.SetBlock(setIdx88)
+	b.ConstTo(index, 88)
+	b.Jump(store)
+
+	b.SetBlock(store)
+	b.Store(valpred, b.Add(b.AddrOf(outObj), i), 0)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	b.Br(b.CmpLT(i, n), loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(valpred, index)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(n int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		copy(mem[stepObj.Base:], stepsizeTable)
+		copy(mem[idxObj.Base:], indexTable)
+		g := newLCG(seed)
+		for k := int64(0); k < n; k++ {
+			mem[inObj.Base+k] = g.intn(16)
+		}
+		return Input{Args: []int64{n}, Mem: mem}
+	}
+	return &Workload{
+		Name: "adpcmdec", Function: "adpcm_decoder", Suite: "MediaBench", ExecPct: 100,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(1024, 11) },
+		Ref:   func() Input { return mkInput(adpcmMaxN, 12) },
+	}
+}
+
+// ADPCMEnc builds the adpcm_coder kernel (MediaBench adpcmenc, 100% of
+// execution): quantization of the prediction error with successive
+// compare-subtract hammocks, followed by the same predictor update as the
+// decoder.
+func ADPCMEnc() *Workload {
+	b := ir.NewBuilder("adpcmenc")
+	stepObj := b.Array("stepsizeTable", int64(len(stepsizeTable)))
+	idxObj := b.Array("indexTable", int64(len(indexTable)))
+	inObj := b.Array("in", adpcmMaxN)
+	outObj := b.Array("out", adpcmMaxN)
+	n := b.Param()
+
+	loop := b.Block("loop")
+	negD := b.Block("negDelta")
+	posD := b.Block("posDelta")
+	q4 := b.Block("q4")
+	q4hit := b.Block("q4hit")
+	q2 := b.Block("q2")
+	q2hit := b.Block("q2hit")
+	q1 := b.Block("q1")
+	q1hit := b.Block("q1hit")
+	recon := b.Block("recon")
+	reconNeg := b.Block("reconNeg")
+	reconPos := b.Block("reconPos")
+	clampLo := b.Block("clampLo")
+	setLo := b.Block("setLo")
+	clampHi := b.Block("clampHi")
+	setHi := b.Block("setHi")
+	idxUpd := b.Block("idxUpd")
+	setIdx0 := b.Block("setIdx0")
+	chkIdxHi := b.Block("chkIdxHi")
+	setIdx88 := b.Block("setIdx88")
+	store := b.Block("store")
+	exit := b.Block("exit")
+
+	f := b.F
+	i := f.NewReg()
+	valpred := f.NewReg()
+	index := f.NewReg()
+	stepv := f.NewReg()
+	delta := f.NewReg()
+	sign := f.NewReg()
+	code := f.NewReg()
+	tmp := f.NewReg()
+	diffq := f.NewReg()
+
+	b.ConstTo(i, 0)
+	b.ConstTo(valpred, 0)
+	b.ConstTo(index, 0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	val := b.Load(b.Add(b.AddrOf(inObj), i), 0)
+	b.LoadTo(stepv, b.Add(b.AddrOf(stepObj), index), 0)
+	b.Op2To(delta, ir.Sub, val, valpred)
+	b.Br(b.CmpLT(delta, b.Const(0)), negD, posD)
+
+	b.SetBlock(negD)
+	b.ConstTo(sign, 8)
+	b.Op2To(delta, ir.Sub, b.Const(0), delta)
+	b.Jump(q4)
+
+	b.SetBlock(posD)
+	b.ConstTo(sign, 0)
+	b.Jump(q4)
+
+	b.SetBlock(q4)
+	b.ConstTo(code, 0)
+	b.MovTo(tmp, stepv)
+	b.Br(b.CmpGE(delta, tmp), q4hit, q2)
+
+	b.SetBlock(q4hit)
+	b.ConstTo(code, 4)
+	b.Op2To(delta, ir.Sub, delta, tmp)
+	b.Jump(q2)
+
+	b.SetBlock(q2)
+	b.Op2To(tmp, ir.Shr, tmp, b.Const(1))
+	b.Br(b.CmpGE(delta, tmp), q2hit, q1)
+
+	b.SetBlock(q2hit)
+	b.Op2To(code, ir.Or, code, b.Const(2))
+	b.Op2To(delta, ir.Sub, delta, tmp)
+	b.Jump(q1)
+
+	b.SetBlock(q1)
+	b.Op2To(tmp, ir.Shr, tmp, b.Const(1))
+	b.Br(b.CmpGE(delta, tmp), q1hit, recon)
+
+	b.SetBlock(q1hit)
+	b.Op2To(code, ir.Or, code, b.Const(1))
+	b.Jump(recon)
+
+	// Reconstruct the decoder's predictor so encoder and decoder stay in
+	// sync (the original computes vpdiff incrementally; the dependence
+	// shape is the same).
+	b.SetBlock(recon)
+	b.Op2To(diffq, ir.Shr, stepv, b.Const(3))
+	t4 := b.And(code, b.Const(4))
+	d4 := b.Mul(t4, b.Shr(stepv, b.Const(2))) // (code&4)/4*step == bit ? step : 0
+	b.Op2To(diffq, ir.Add, diffq, d4)
+	t2 := b.Shr(b.And(code, b.Const(2)), b.Const(1))
+	d2 := b.Mul(t2, b.Shr(stepv, b.Const(1)))
+	b.Op2To(diffq, ir.Add, diffq, d2)
+	t1 := b.And(code, b.Const(1))
+	d1 := b.Mul(t1, b.Shr(stepv, b.Const(2)))
+	b.Op2To(diffq, ir.Add, diffq, d1)
+	b.Br(sign, reconNeg, reconPos)
+
+	b.SetBlock(reconNeg)
+	b.Op2To(valpred, ir.Sub, valpred, diffq)
+	b.Jump(clampLo)
+
+	b.SetBlock(reconPos)
+	b.Op2To(valpred, ir.Add, valpred, diffq)
+	b.Jump(clampLo)
+
+	b.SetBlock(clampLo)
+	b.Br(b.CmpLT(valpred, b.Const(-32768)), setLo, clampHi)
+
+	b.SetBlock(setLo)
+	b.ConstTo(valpred, -32768)
+	b.Jump(idxUpd)
+
+	b.SetBlock(clampHi)
+	b.Br(b.CmpGT(valpred, b.Const(32767)), setHi, idxUpd)
+
+	b.SetBlock(setHi)
+	b.ConstTo(valpred, 32767)
+	b.Jump(idxUpd)
+
+	b.SetBlock(idxUpd)
+	adj := b.Load(b.Add(b.AddrOf(idxObj), code), 0)
+	b.Op2To(index, ir.Add, index, adj)
+	b.Br(b.CmpLT(index, b.Const(0)), setIdx0, chkIdxHi)
+
+	b.SetBlock(setIdx0)
+	b.ConstTo(index, 0)
+	b.Jump(store)
+
+	b.SetBlock(chkIdxHi)
+	b.Br(b.CmpGT(index, b.Const(88)), setIdx88, store)
+
+	b.SetBlock(setIdx88)
+	b.ConstTo(index, 88)
+	b.Jump(store)
+
+	b.SetBlock(store)
+	outv := b.Or(code, sign)
+	b.Store(outv, b.Add(b.AddrOf(outObj), i), 0)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	b.Br(b.CmpLT(i, n), loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(valpred, index)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(n int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		copy(mem[stepObj.Base:], stepsizeTable)
+		copy(mem[idxObj.Base:], indexTable)
+		g := newLCG(seed)
+		cur := int64(0)
+		for k := int64(0); k < n; k++ {
+			cur += g.intn(2001) - 1000 // a wandering waveform
+			if cur > 32767 {
+				cur = 32767
+			}
+			if cur < -32768 {
+				cur = -32768
+			}
+			mem[inObj.Base+k] = cur
+		}
+		return Input{Args: []int64{n}, Mem: mem}
+	}
+	return &Workload{
+		Name: "adpcmenc", Function: "adpcm_coder", Suite: "MediaBench", ExecPct: 100,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(1024, 21) },
+		Ref:   func() Input { return mkInput(adpcmMaxN, 22) },
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import "repro/internal/ir"
+
+// AMMP builds the mm_fv_update_nonbon kernel of 188.ammp (79% of
+// execution): the non-bonded force update over atom pairs — distance
+// computation, a cutoff hammock, and reciprocal-distance force
+// accumulation with scattered read-modify-write stores.
+func AMMP() *Workload {
+	const maxAtoms = 512
+	const maxPairs = 16384
+	b := ir.NewBuilder("ammp")
+	xObj := b.Array("x", maxAtoms)
+	yObj := b.Array("y", maxAtoms)
+	zObj := b.Array("z", maxAtoms)
+	qObj := b.Array("q", maxAtoms)
+	fxObj := b.Array("fx", maxAtoms)
+	piObj := b.Array("pi", maxPairs)
+	pjObj := b.Array("pj", maxPairs)
+	npairs := b.Param()
+	cutoff := b.Param() // float64 bits
+
+	loop := b.Block("loop")
+	inRange := b.Block("inRange")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+
+	f := b.F
+	p := f.NewReg()
+	energy := f.NewReg()
+	hits := f.NewReg()
+
+	b.ConstTo(p, 0)
+	b.MovTo(energy, b.FConst(0))
+	b.ConstTo(hits, 0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	ai := b.Load(b.Add(b.AddrOf(piObj), p), 0)
+	aj := b.Load(b.Add(b.AddrOf(pjObj), p), 0)
+	dx := b.FSub(b.Load(b.Add(b.AddrOf(xObj), ai), 0), b.Load(b.Add(b.AddrOf(xObj), aj), 0))
+	dy := b.FSub(b.Load(b.Add(b.AddrOf(yObj), ai), 0), b.Load(b.Add(b.AddrOf(yObj), aj), 0))
+	dz := b.FSub(b.Load(b.Add(b.AddrOf(zObj), ai), 0), b.Load(b.Add(b.AddrOf(zObj), aj), 0))
+	r2 := b.FAdd(b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)), b.FMul(dz, dz))
+	b.Br(b.FCmpLT(r2, cutoff), inRange, latch)
+
+	b.SetBlock(inRange)
+	inv := b.FDiv(b.FConst(1.0), r2)
+	qq := b.FMul(b.Load(b.Add(b.AddrOf(qObj), ai), 0), b.Load(b.Add(b.AddrOf(qObj), aj), 0))
+	fscal := b.FMul(qq, inv)
+	b.Op2To(energy, ir.FAdd, energy, fscal)
+	// Scatter the force to both atoms (read-modify-write).
+	fi := b.Load(b.Add(b.AddrOf(fxObj), ai), 0)
+	b.Store(b.FAdd(fi, b.FMul(fscal, dx)), b.Add(b.AddrOf(fxObj), ai), 0)
+	fj := b.Load(b.Add(b.AddrOf(fxObj), aj), 0)
+	b.Store(b.FSub(fj, b.FMul(fscal, dx)), b.Add(b.AddrOf(fxObj), aj), 0)
+	b.Op2To(hits, ir.Add, hits, b.Const(1))
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	b.Op2To(p, ir.Add, p, b.Const(1))
+	b.Br(b.CmpLT(p, npairs), loop, exit)
+
+	b.SetBlock(exit)
+	e := b.FtoI(b.FMul(energy, b.FConst(1000.0)))
+	b.Ret(e, hits)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(npairs int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for a := int64(0); a < maxAtoms; a++ {
+			mem[xObj.Base+a] = fbits(10 * g.f64())
+			mem[yObj.Base+a] = fbits(10 * g.f64())
+			mem[zObj.Base+a] = fbits(10 * g.f64())
+			mem[qObj.Base+a] = fbits(g.f64() - 0.5)
+		}
+		for k := int64(0); k < npairs; k++ {
+			mem[piObj.Base+k] = g.intn(maxAtoms)
+			mem[pjObj.Base+k] = g.intn(maxAtoms)
+		}
+		return Input{Args: []int64{npairs, fbits(25.0)}, Mem: mem}
+	}
+	return &Workload{
+		Name: "188.ammp", Function: "mm_fv_update_nonbon", Suite: "SPEC-CPU", ExecPct: 79,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(1024, 81) },
+		Ref:   func() Input { return mkInput(maxPairs, 82) },
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Equake builds the smvp kernel of 183.equake (63% of execution): a sparse
+// matrix-vector product in CSR form — an outer loop over rows and an inner
+// loop gathering A[k]*v[col[k]] — the canonical irregular-FP shape DSWP
+// pipelines into a traversal thread and a compute thread.
+func Equake() *Workload {
+	const maxRows = 1024
+	const maxNNZ = 16384
+	b := ir.NewBuilder("equake")
+	rowObj := b.Array("rowstart", maxRows+1)
+	colObj := b.Array("colidx", maxNNZ)
+	aObj := b.Array("A", maxNNZ)
+	vObj := b.Array("v", maxRows)
+	wObj := b.Array("w", maxRows)
+	rows := b.Param()
+
+	rloop := b.Block("rloop")
+	kcheck := b.Block("kcheck")
+	kloop := b.Block("kloop")
+	rlatch := b.Block("rlatch")
+	exit := b.Block("exit")
+
+	f := b.F
+	row := f.NewReg()
+	k := f.NewReg()
+	kend := f.NewReg()
+	sum := f.NewReg()
+	acc := f.NewReg()
+
+	b.ConstTo(row, 0)
+	b.MovTo(acc, b.FConst(0))
+	b.Jump(rloop)
+
+	b.SetBlock(rloop)
+	b.LoadTo(k, b.Add(b.AddrOf(rowObj), row), 0)
+	b.LoadTo(kend, b.Add(b.AddrOf(rowObj), row), 1)
+	b.MovTo(sum, b.FConst(0))
+	b.Jump(kcheck)
+
+	b.SetBlock(kcheck)
+	b.Br(b.CmpLT(k, kend), kloop, rlatch)
+
+	b.SetBlock(kloop)
+	col := b.Load(b.Add(b.AddrOf(colObj), k), 0)
+	av := b.Load(b.Add(b.AddrOf(aObj), k), 0)
+	vv := b.Load(b.Add(b.AddrOf(vObj), col), 0)
+	b.Op2To(sum, ir.FAdd, sum, b.FMul(av, vv))
+	b.Op2To(k, ir.Add, k, b.Const(1))
+	b.Jump(kcheck)
+
+	b.SetBlock(rlatch)
+	b.Store(sum, b.Add(b.AddrOf(wObj), row), 0)
+	b.Op2To(acc, ir.FAdd, acc, sum)
+	b.Op2To(row, ir.Add, row, b.Const(1))
+	b.Br(b.CmpLT(row, rows), rloop, exit)
+
+	b.SetBlock(exit)
+	checksum := b.FtoI(acc)
+	b.Ret(checksum)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(rows, avgNNZ int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		nnz := int64(0)
+		for r := int64(0); r < rows; r++ {
+			mem[rowObj.Base+r] = nnz
+			cnt := 1 + g.intn(2*avgNNZ-1)
+			for c := int64(0); c < cnt && nnz < maxNNZ; c++ {
+				mem[colObj.Base+nnz] = g.intn(rows)
+				mem[aObj.Base+nnz] = fbits(g.f64() - 0.5)
+				nnz++
+			}
+		}
+		mem[rowObj.Base+rows] = nnz
+		for r := int64(0); r < rows; r++ {
+			mem[vObj.Base+r] = fbits(g.f64())
+		}
+		return Input{Args: []int64{rows}, Mem: mem}
+	}
+	return &Workload{
+		Name: "183.equake", Function: "smvp", Suite: "SPEC-CPU", ExecPct: 63,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(96, 6, 71) },
+		Ref:   func() Input { return mkInput(maxRows, 12, 72) },
+	}
+}

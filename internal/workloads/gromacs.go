@@ -1,0 +1,92 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Gromacs builds the inl1130 kernel of 435.gromacs (75% of execution): the
+// water-water non-bonded inner loop — neighbor-list gather, reciprocal
+// square root, Lennard-Jones + Coulomb force evaluation, and force
+// accumulation into loop-carried FP registers. Long FP dependence chains
+// make it the highest-speedup DSWP benchmark in Figure 8 (2.44x).
+func Gromacs() *Workload {
+	const maxAtoms = 1024
+	const maxNeighbors = 12288
+	b := ir.NewBuilder("gromacs")
+	xObj := b.Array("x", maxAtoms)
+	yObj := b.Array("y", maxAtoms)
+	zObj := b.Array("z", maxAtoms)
+	qObj := b.Array("q", maxAtoms)
+	jidxObj := b.Array("jidx", maxNeighbors)
+	fObj := b.Array("faction", maxAtoms)
+	nn := b.Param()
+	ix := b.Param() // i-particle coordinates (float bits)
+	iy := b.Param()
+	iz := b.Param()
+
+	loop := b.Block("loop")
+	exit := b.Block("exit")
+
+	f := b.F
+	k := f.NewReg()
+	fxAcc := f.NewReg()
+	vtot := f.NewReg()
+
+	b.ConstTo(k, 0)
+	b.MovTo(fxAcc, b.FConst(0))
+	b.MovTo(vtot, b.FConst(0))
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	j := b.Load(b.Add(b.AddrOf(jidxObj), k), 0)
+	dx := b.FSub(ix, b.Load(b.Add(b.AddrOf(xObj), j), 0))
+	dy := b.FSub(iy, b.Load(b.Add(b.AddrOf(yObj), j), 0))
+	dz := b.FSub(iz, b.Load(b.Add(b.AddrOf(zObj), j), 0))
+	rsq := b.FAdd(b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)), b.FMul(dz, dz))
+	rinv := b.FDiv(b.FConst(1.0), b.Op1(ir.FSqrt, rsq))
+	rinvsq := b.FMul(rinv, rinv)
+	// Coulomb term.
+	qq := b.Load(b.Add(b.AddrOf(qObj), j), 0)
+	vcoul := b.FMul(qq, rinv)
+	// Lennard-Jones 6-12 terms from rinv^6.
+	rinv6 := b.FMul(b.FMul(rinvsq, rinvsq), rinvsq)
+	vnb6 := b.FMul(rinv6, b.FConst(1.5))
+	vnb12 := b.FMul(b.FMul(rinv6, rinv6), b.FConst(0.5))
+	fs := b.FMul(b.FAdd(vcoul, b.FSub(b.FMul(vnb12, b.FConst(12.0)), b.FMul(vnb6, b.FConst(6.0)))), rinvsq)
+	b.Op2To(vtot, ir.FAdd, vtot, b.FAdd(vcoul, b.FSub(vnb12, vnb6)))
+	b.Op2To(fxAcc, ir.FAdd, fxAcc, b.FMul(fs, dx))
+	// Scatter reaction force to atom j.
+	fj := b.Load(b.Add(b.AddrOf(fObj), j), 0)
+	b.Store(b.FSub(fj, b.FMul(fs, dx)), b.Add(b.AddrOf(fObj), j), 0)
+	b.Op2To(k, ir.Add, k, b.Const(1))
+	b.Br(b.CmpLT(k, nn), loop, exit)
+
+	b.SetBlock(exit)
+	e := b.FtoI(b.FMul(vtot, b.FConst(1.0e6)))
+	fx := b.FtoI(b.FMul(fxAcc, b.FConst(1.0e6)))
+	b.Ret(e, fx)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(nn int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for a := int64(0); a < maxAtoms; a++ {
+			mem[xObj.Base+a] = fbits(1.0 + 20.0*g.f64())
+			mem[yObj.Base+a] = fbits(1.0 + 20.0*g.f64())
+			mem[zObj.Base+a] = fbits(1.0 + 20.0*g.f64())
+			mem[qObj.Base+a] = fbits(0.4*g.f64() - 0.2)
+		}
+		for t := int64(0); t < nn; t++ {
+			mem[jidxObj.Base+t] = g.intn(maxAtoms)
+		}
+		return Input{
+			Args: []int64{nn, fbits(50.0), fbits(50.0), fbits(50.0)},
+			Mem:  mem,
+		}
+	}
+	return &Workload{
+		Name: "435.gromacs", Function: "inl1130", Suite: "SPEC-CPU", ExecPct: 75,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(1024, 101) },
+		Ref:   func() Input { return mkInput(maxNeighbors, 102) },
+	}
+}

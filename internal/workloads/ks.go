@@ -1,0 +1,112 @@
+package workloads
+
+import "repro/internal/ir"
+
+// KS builds the FindMaxGpAndSwap kernel of the Pointer-Intensive suite's ks
+// (Kernighan–Schweikert graph partitioner, 100% of execution): repeated
+// passes of a doubly nested max-gain reduction followed by a swap. The
+// live-out accumulation consumed after the nest is the structure behind the
+// paper's largest COCO win (73.7% communication reduction, the Figure 4
+// pattern).
+func KS() *Workload {
+	const maxN = 40 // group size; cost matrix is maxN x maxN
+	b := ir.NewBuilder("ks")
+	dObj := b.Array("D", 2*maxN)
+	costObj := b.Array("cost", maxN*maxN)
+	n := b.Param() // elements per group
+	passes := b.Param()
+
+	outer := b.Block("outer")
+	iloop := b.Block("iloop")
+	jloop := b.Block("jloop")
+	better := b.Block("better")
+	jlatch := b.Block("jlatch")
+	ilatch := b.Block("ilatch")
+	swap := b.Block("swap")
+	exit := b.Block("exit")
+
+	f := b.F
+	pass := f.NewReg()
+	i := f.NewReg()
+	j := f.NewReg()
+	maxGain := f.NewReg()
+	bi := f.NewReg()
+	bj := f.NewReg()
+	total := f.NewReg()
+	di := f.NewReg()
+
+	b.ConstTo(pass, 0)
+	b.ConstTo(total, 0)
+	b.Jump(outer)
+
+	b.SetBlock(outer)
+	b.ConstTo(maxGain, -1<<40)
+	b.ConstTo(bi, 0)
+	b.ConstTo(bj, 0)
+	b.ConstTo(i, 0)
+	b.Jump(iloop)
+
+	b.SetBlock(iloop)
+	b.LoadTo(di, b.Add(b.AddrOf(dObj), i), 0)
+	b.ConstTo(j, 0)
+	b.Jump(jloop)
+
+	b.SetBlock(jloop)
+	dj := b.Load(b.Add(b.Add(b.AddrOf(dObj), n), j), 0)
+	row := b.Mul(i, n)
+	cij := b.Load(b.Add(b.Add(b.AddrOf(costObj), row), j), 0)
+	gain := b.Sub(b.Add(di, dj), b.Shl(cij, b.Const(1)))
+	b.Br(b.CmpGT(gain, maxGain), better, jlatch)
+
+	b.SetBlock(better)
+	b.MovTo(maxGain, gain)
+	b.MovTo(bi, i)
+	b.MovTo(bj, j)
+	b.Jump(jlatch)
+
+	b.SetBlock(jlatch)
+	b.Op2To(j, ir.Add, j, b.Const(1))
+	b.Br(b.CmpLT(j, n), jloop, ilatch)
+
+	b.SetBlock(ilatch)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	b.Br(b.CmpLT(i, n), iloop, swap)
+
+	// Swap the chosen pair's D entries and decay them so later passes
+	// pick different pairs (the original updates D values from the cost
+	// matrix; the dependence shape — reduction result feeding stores and
+	// the accumulated total — is preserved).
+	b.SetBlock(swap)
+	pa := b.Add(b.AddrOf(dObj), bi)
+	pb := b.Add(b.Add(b.AddrOf(dObj), n), bj)
+	va := b.Load(pa, 0)
+	vb := b.Load(pb, 0)
+	b.Store(b.Shr(vb, b.Const(1)), pa, 0)
+	b.Store(b.Shr(va, b.Const(1)), pb, 0)
+	b.Op2To(total, ir.Add, total, maxGain)
+	b.Op2To(pass, ir.Add, pass, b.Const(1))
+	b.Br(b.CmpLT(pass, passes), outer, exit)
+
+	b.SetBlock(exit)
+	b.Ret(total)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(n, passes int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for k := int64(0); k < 2*maxN; k++ {
+			mem[dObj.Base+k] = g.intn(1000)
+		}
+		for k := int64(0); k < maxN*maxN; k++ {
+			mem[costObj.Base+k] = g.intn(100)
+		}
+		return Input{Args: []int64{n, passes}, Mem: mem}
+	}
+	return &Workload{
+		Name: "ks", Function: "FindMaxGpAndSwap", Suite: "Pointer-Intensive", ExecPct: 100,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(12, 6, 31) },
+		Ref:   func() Input { return mkInput(40, 24, 32) },
+	}
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import "repro/internal/ir"
+
+// MCF builds the refresh_potential kernel of 181.mcf (32% of execution):
+// a pass over the spanning-tree nodes updating each node's potential from
+// its parent's — pointer-chasing loads (parent index, then the parent's
+// potential) with an orientation hammock, the classic mcf dependence shape.
+func MCF() *Workload {
+	const maxNodes = 8192
+	b := ir.NewBuilder("mcf")
+	parentObj := b.Array("parent", maxNodes)
+	orientObj := b.Array("orientation", maxNodes)
+	costObj := b.Array("cost", maxNodes)
+	potObj := b.Array("potential", maxNodes)
+	n := b.Param()
+
+	loop := b.Block("loop")
+	up := b.Block("up")
+	down := b.Block("down")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+
+	f := b.F
+	i := f.NewReg()
+	checksum := f.NewReg()
+	pot := f.NewReg()
+
+	b.ConstTo(i, 1) // node 0 is the root
+	b.ConstTo(checksum, 0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	parent := b.Load(b.Add(b.AddrOf(parentObj), i), 0)
+	ppot := b.Load(b.Add(b.AddrOf(potObj), parent), 0)
+	cost := b.Load(b.Add(b.AddrOf(costObj), i), 0)
+	orient := b.Load(b.Add(b.AddrOf(orientObj), i), 0)
+	b.Br(orient, up, down)
+
+	b.SetBlock(up)
+	b.Op2To(pot, ir.Add, ppot, cost)
+	b.Jump(latch)
+
+	b.SetBlock(down)
+	b.Op2To(pot, ir.Sub, ppot, cost)
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	b.Store(pot, b.Add(b.AddrOf(potObj), i), 0)
+	b.Op2To(checksum, ir.Add, checksum, pot)
+	b.Op2To(i, ir.Add, i, b.Const(1))
+	b.Br(b.CmpLT(i, n), loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(checksum)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(n int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		mem[potObj.Base] = 100000
+		for k := int64(1); k < n; k++ {
+			mem[parentObj.Base+k] = g.intn(k) // tree: parent precedes child
+			mem[orientObj.Base+k] = g.intn(2)
+			mem[costObj.Base+k] = g.intn(500)
+		}
+		return Input{Args: []int64{n}, Mem: mem}
+	}
+	return &Workload{
+		Name: "181.mcf", Function: "refresh_potential", Suite: "SPEC-CPU", ExecPct: 32,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(512, 61) },
+		Ref:   func() Input { return mkInput(maxNodes, 62) },
+	}
+}

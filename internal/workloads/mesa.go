@@ -1,0 +1,97 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Mesa builds the general_textured_triangle span kernel of 177.mesa (32% of
+// execution): per-span floating-point interpolation of depth and color with
+// a z-buffer test hammock and framebuffer stores. The stores and the
+// z-buffer loads create the inter-thread memory dependences for which COCO
+// removes ">99% of the dynamic memory synchronizations" under GREMIO.
+func Mesa() *Workload {
+	const maxW = 64
+	const maxSpans = 128
+	b := ir.NewBuilder("mesa")
+	zbufObj := b.Array("zbuf", maxSpans*maxW)
+	fbObj := b.Array("fb", maxSpans*maxW)
+	zslopeObj := b.Array("zslope", maxSpans)
+	cslopeObj := b.Array("cslope", maxSpans)
+	spans := b.Param()
+	width := b.Param()
+
+	sloop := b.Block("sloop")
+	xloop := b.Block("xloop")
+	zpass := b.Block("zpass")
+	xlatch := b.Block("xlatch")
+	slatch := b.Block("slatch")
+	exit := b.Block("exit")
+
+	f := b.F
+	s := f.NewReg()
+	x := f.NewReg()
+	z := f.NewReg()
+	r := f.NewReg()
+	dz := f.NewReg()
+	dr := f.NewReg()
+	rowBase := f.NewReg()
+	written := f.NewReg()
+
+	b.ConstTo(s, 0)
+	b.ConstTo(written, 0)
+	b.Jump(sloop)
+
+	b.SetBlock(sloop)
+	b.LoadTo(dz, b.Add(b.AddrOf(zslopeObj), s), 0)
+	b.LoadTo(dr, b.Add(b.AddrOf(cslopeObj), s), 0)
+	zinit := b.FConst(1.0e6)
+	b.MovTo(z, zinit)
+	b.MovTo(r, b.FConst(0.25))
+	b.Op2To(rowBase, ir.Mul, s, width)
+	b.ConstTo(x, 0)
+	b.Jump(xloop)
+
+	b.SetBlock(xloop)
+	idx := b.Add(rowBase, x)
+	zb := b.Load(b.Add(b.AddrOf(zbufObj), idx), 0)
+	b.Br(b.FCmpLT(z, zb), zpass, xlatch)
+
+	b.SetBlock(zpass)
+	b.Store(z, b.Add(b.AddrOf(zbufObj), idx), 0)
+	color := b.FtoI(b.FMul(r, b.FConst(255.0)))
+	b.Store(color, b.Add(b.AddrOf(fbObj), idx), 0)
+	b.Op2To(written, ir.Add, written, b.Const(1))
+	b.Jump(xlatch)
+
+	b.SetBlock(xlatch)
+	b.Op2To(z, ir.FAdd, z, dz)
+	b.Op2To(r, ir.FAdd, r, dr)
+	b.Op2To(x, ir.Add, x, b.Const(1))
+	b.Br(b.CmpLT(x, width), xloop, slatch)
+
+	b.SetBlock(slatch)
+	b.Op2To(s, ir.Add, s, b.Const(1))
+	b.Br(b.CmpLT(s, spans), sloop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(written)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(spans, width int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for k := int64(0); k < spans*width; k++ {
+			mem[zbufObj.Base+k] = fbits(1.0e5 + 1.0e7*g.f64())
+		}
+		for k := int64(0); k < spans; k++ {
+			mem[zslopeObj.Base+k] = fbits(-500.0 + 30000.0*g.f64())
+			mem[cslopeObj.Base+k] = fbits(0.01 * g.f64())
+		}
+		return Input{Args: []int64{spans, width}, Mem: mem}
+	}
+	return &Workload{
+		Name: "177.mesa", Function: "general_textured_triangle", Suite: "SPEC-CPU", ExecPct: 32,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(16, 32, 51) },
+		Ref:   func() Input { return mkInput(maxSpans, maxW, 52) },
+	}
+}

@@ -1,0 +1,104 @@
+package workloads
+
+import "repro/internal/ir"
+
+// MPEG2Enc builds the dist1 kernel of MediaBench mpeg2enc (58% of
+// execution): the 16x16 sum-of-absolute-differences of motion estimation,
+// with the absolute value implemented as a hammock and the original's
+// early-exit distance test every row — "COCO optimized the register
+// communication in various hammocks" (Section 4).
+func MPEG2Enc() *Workload {
+	const blockWords = 256 // one 16x16 block
+	const maxBlocks = 256
+	b := ir.NewBuilder("mpeg2enc")
+	refObj := b.Array("ref", maxBlocks*blockWords)
+	curObj := b.Array("cur", maxBlocks*blockWords)
+	sadObj := b.Array("sad", maxBlocks)
+	nblocks := b.Param()
+	limit := b.Param()
+
+	bloop := b.Block("bloop")
+	rowLoop := b.Block("rowLoop")
+	colLoop := b.Block("colLoop")
+	negDiff := b.Block("negDiff")
+	colLatch := b.Block("colLatch")
+	rowCheck := b.Block("rowCheck")
+	rowLatch := b.Block("rowLatch")
+	blkDone := b.Block("blkDone")
+	exit := b.Block("exit")
+
+	f := b.F
+	blk := f.NewReg()
+	row := f.NewReg()
+	col := f.NewReg()
+	s := f.NewReg()
+	d := f.NewReg()
+	base := f.NewReg()
+	total := f.NewReg()
+
+	b.ConstTo(blk, 0)
+	b.ConstTo(total, 0)
+	b.Jump(bloop)
+
+	b.SetBlock(bloop)
+	b.Op2To(base, ir.Mul, blk, b.Const(blockWords))
+	b.ConstTo(s, 0)
+	b.ConstTo(row, 0)
+	b.Jump(rowLoop)
+
+	b.SetBlock(rowLoop)
+	b.ConstTo(col, 0)
+	b.Jump(colLoop)
+
+	b.SetBlock(colLoop)
+	off := b.Add(base, b.Add(b.Mul(row, b.Const(16)), col))
+	va := b.Load(b.Add(b.AddrOf(refObj), off), 0)
+	vb := b.Load(b.Add(b.AddrOf(curObj), off), 0)
+	b.Op2To(d, ir.Sub, va, vb)
+	b.Br(b.CmpLT(d, b.Const(0)), negDiff, colLatch)
+
+	b.SetBlock(negDiff)
+	b.Op2To(d, ir.Sub, b.Const(0), d)
+	b.Jump(colLatch)
+
+	b.SetBlock(colLatch)
+	b.Op2To(s, ir.Add, s, d)
+	b.Op2To(col, ir.Add, col, b.Const(1))
+	b.Br(b.CmpLT(col, b.Const(16)), colLoop, rowCheck)
+
+	// Early exit: dist1 abandons the block once the accumulated distance
+	// exceeds the best found so far.
+	b.SetBlock(rowCheck)
+	b.Br(b.CmpGT(s, limit), blkDone, rowLatch)
+
+	b.SetBlock(rowLatch)
+	b.Op2To(row, ir.Add, row, b.Const(1))
+	b.Br(b.CmpLT(row, b.Const(16)), rowLoop, blkDone)
+
+	b.SetBlock(blkDone)
+	b.Store(s, b.Add(b.AddrOf(sadObj), blk), 0)
+	b.Op2To(total, ir.Add, total, s)
+	b.Op2To(blk, ir.Add, blk, b.Const(1))
+	b.Br(b.CmpLT(blk, nblocks), bloop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(total)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(nblocks, limit int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for k := int64(0); k < nblocks*blockWords; k++ {
+			mem[refObj.Base+k] = g.intn(256)
+			mem[curObj.Base+k] = g.intn(256)
+		}
+		return Input{Args: []int64{nblocks, limit}, Mem: mem}
+	}
+	return &Workload{
+		Name: "mpeg2enc", Function: "dist1", Suite: "MediaBench", ExecPct: 58,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(16, 6000, 41) },
+		Ref:   func() Input { return mkInput(maxBlocks, 9000, 42) },
+	}
+}

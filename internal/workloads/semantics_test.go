@@ -1,0 +1,164 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// run executes a workload on its reference input.
+func run(t *testing.T, name string) (*workloads.Workload, *interp.Result) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.Ref()
+	res, err := interp.Run(w.F, in.Args, in.Mem, 50_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return w, res
+}
+
+func TestADPCMDecoderSemantics(t *testing.T) {
+	w, res := run(t, "adpcmdec")
+	// Live-outs: predictor in [-32768, 32767], index in [0, 88].
+	if v := res.LiveOuts[0]; v < -32768 || v > 32767 {
+		t.Errorf("valpred = %d, outside 16-bit range", v)
+	}
+	if idx := res.LiveOuts[1]; idx < 0 || idx > 88 {
+		t.Errorf("index = %d, outside [0,88]", idx)
+	}
+	// Every output sample must also be clamped.
+	var out ir.MemObject
+	for _, o := range w.Objects {
+		if o.Name == "out" {
+			out = o
+		}
+	}
+	for a := out.Base; a < out.Base+out.Size; a++ {
+		if v := res.Mem[a]; v < -32768 || v > 32767 {
+			t.Fatalf("out[%d] = %d, outside 16-bit range", a-out.Base, v)
+		}
+	}
+}
+
+func TestADPCMEncoderOutputsAreCodes(t *testing.T) {
+	w, res := run(t, "adpcmenc")
+	var out ir.MemObject
+	for _, o := range w.Objects {
+		if o.Name == "out" {
+			out = o
+		}
+	}
+	n := w.Ref().Args[0]
+	for a := out.Base; a < out.Base+n; a++ {
+		if v := res.Mem[a]; v < 0 || v > 15 {
+			t.Fatalf("code out[%d] = %d, outside 4-bit range", a-out.Base, v)
+		}
+	}
+}
+
+func TestKSGainIsFinite(t *testing.T) {
+	_, res := run(t, "ks")
+	total := res.LiveOuts[0]
+	if total <= -(1 << 39) {
+		t.Errorf("ks total gain %d looks like the -inf sentinel escaped", total)
+	}
+}
+
+func TestMPEG2SADNonNegative(t *testing.T) {
+	_, res := run(t, "mpeg2enc")
+	if res.LiveOuts[0] < 0 {
+		t.Errorf("total SAD = %d, must be non-negative", res.LiveOuts[0])
+	}
+}
+
+func TestMesaWritesBounded(t *testing.T) {
+	w, res := run(t, "177.mesa")
+	in := w.Ref()
+	maxWrites := in.Args[0] * in.Args[1] // spans * width
+	if res.LiveOuts[0] < 0 || res.LiveOuts[0] > maxWrites {
+		t.Errorf("z-pass writes = %d, outside [0,%d]", res.LiveOuts[0], maxWrites)
+	}
+	if res.LiveOuts[0] == 0 {
+		t.Error("no pixel ever passed the z test; inputs degenerate")
+	}
+}
+
+func TestMCFPotentialsPropagate(t *testing.T) {
+	w, res := run(t, "181.mcf")
+	// Every node's potential must have been written (root starts at
+	// 100000 and costs are < 500, so potentials stay within a band).
+	var pot ir.MemObject
+	for _, o := range w.Objects {
+		if o.Name == "potential" {
+			pot = o
+		}
+	}
+	n := w.Ref().Args[0]
+	for k := int64(1); k < n; k++ {
+		v := res.Mem[pot.Base+k]
+		if v < 100000-500*int64(n) || v > 100000+500*int64(n) {
+			t.Fatalf("potential[%d] = %d, outside plausible band", k, v)
+		}
+	}
+}
+
+func TestEquakeOutputVectorWritten(t *testing.T) {
+	w, res := run(t, "183.equake")
+	var wObj ir.MemObject
+	for _, o := range w.Objects {
+		if o.Name == "w" {
+			wObj = o
+		}
+	}
+	rows := w.Ref().Args[0]
+	nonzero := 0
+	for k := int64(0); k < rows; k++ {
+		if res.Mem[wObj.Base+k] != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < int(rows)/2 {
+		t.Errorf("only %d of %d result rows nonzero", nonzero, rows)
+	}
+}
+
+func TestAMMPHitsWithinCutoff(t *testing.T) {
+	w, res := run(t, "188.ammp")
+	hits := res.LiveOuts[1]
+	pairs := w.Ref().Args[0]
+	if hits <= 0 || hits > pairs {
+		t.Errorf("cutoff hits = %d of %d pairs", hits, pairs)
+	}
+}
+
+func TestTwolfCostPositive(t *testing.T) {
+	_, res := run(t, "300.twolf")
+	if res.LiveOuts[0] <= 0 {
+		t.Errorf("bounding-box cost = %d, want positive", res.LiveOuts[0])
+	}
+}
+
+func TestSjengScoreComponents(t *testing.T) {
+	_, res := run(t, "458.sjeng")
+	material := res.LiveOuts[1]
+	// ~40% of 64*1024 squares hold pieces worth 100..900.
+	if material < 100*1000 {
+		t.Errorf("material = %d, implausibly low", material)
+	}
+}
+
+func TestGromacsEnergyFinite(t *testing.T) {
+	_, res := run(t, "435.gromacs")
+	e := res.LiveOuts[0]
+	// Scaled by 1e6; particles are at least distance ~0 apart but
+	// separated coordinates keep it bounded.
+	if e == 0 {
+		t.Error("total energy is exactly zero; inputs degenerate")
+	}
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Sjeng builds the std_eval kernel of 458.sjeng (26% of execution): a pass
+// over the 64 board squares with a piece-type dispatch (a chain of
+// compare-and-branch cases), per-piece square-table lookups, and separate
+// material/positional accumulators — branchy integer code with many small
+// hammocks, repeated over a set of positions.
+func Sjeng() *Workload {
+	const maxPositions = 1024
+	b := ir.NewBuilder("sjeng")
+	boardObj := b.Array("board", maxPositions*64)
+	pawnTblObj := b.Array("pawnTbl", 64)
+	knightTblObj := b.Array("knightTbl", 64)
+	bishopTblObj := b.Array("bishopTbl", 64)
+	rookTblObj := b.Array("rookTbl", 64)
+	positions := b.Param()
+
+	ploop := b.Block("ploop")
+	sqloop := b.Block("sqloop")
+	isPawn := b.Block("isPawn")
+	chkKnight := b.Block("chkKnight")
+	isKnight := b.Block("isKnight")
+	chkBishop := b.Block("chkBishop")
+	isBishop := b.Block("isBishop")
+	chkRook := b.Block("chkRook")
+	isRook := b.Block("isRook")
+	isQueen := b.Block("isQueen")
+	sqlatch := b.Block("sqlatch")
+	platch := b.Block("platch")
+	exit := b.Block("exit")
+
+	f := b.F
+	pos := f.NewReg()
+	sq := f.NewReg()
+	score := f.NewReg()
+	material := f.NewReg()
+	base := f.NewReg()
+	piece := f.NewReg()
+
+	b.ConstTo(pos, 0)
+	b.ConstTo(score, 0)
+	b.ConstTo(material, 0)
+	b.Jump(ploop)
+
+	b.SetBlock(ploop)
+	b.Op2To(base, ir.Mul, pos, b.Const(64))
+	b.ConstTo(sq, 0)
+	b.Jump(sqloop)
+
+	b.SetBlock(sqloop)
+	b.LoadTo(piece, b.Add(b.AddrOf(boardObj), b.Add(base, sq)), 0)
+	b.Br(b.CmpEQ(piece, b.Const(1)), isPawn, chkKnight)
+
+	b.SetBlock(isPawn)
+	v := b.Load(b.Add(b.AddrOf(pawnTblObj), sq), 0)
+	b.Op2To(score, ir.Add, score, v)
+	b.Op2To(material, ir.Add, material, b.Const(100))
+	b.Jump(sqlatch)
+
+	b.SetBlock(chkKnight)
+	b.Br(b.CmpEQ(piece, b.Const(2)), isKnight, chkBishop)
+
+	b.SetBlock(isKnight)
+	v = b.Load(b.Add(b.AddrOf(knightTblObj), sq), 0)
+	b.Op2To(score, ir.Add, score, v)
+	b.Op2To(material, ir.Add, material, b.Const(300))
+	b.Jump(sqlatch)
+
+	b.SetBlock(chkBishop)
+	b.Br(b.CmpEQ(piece, b.Const(3)), isBishop, chkRook)
+
+	b.SetBlock(isBishop)
+	v = b.Load(b.Add(b.AddrOf(bishopTblObj), sq), 0)
+	b.Op2To(score, ir.Add, score, v)
+	b.Op2To(material, ir.Add, material, b.Const(310))
+	b.Jump(sqlatch)
+
+	b.SetBlock(chkRook)
+	b.Br(b.CmpEQ(piece, b.Const(4)), isRook, isQueen)
+
+	b.SetBlock(isRook)
+	v = b.Load(b.Add(b.AddrOf(rookTblObj), sq), 0)
+	b.Op2To(score, ir.Add, score, v)
+	b.Op2To(material, ir.Add, material, b.Const(500))
+	b.Jump(sqlatch)
+
+	b.SetBlock(isQueen)
+	// Empty squares (piece 0) add nothing; piece 5 is a queen.
+	isQ := b.CmpEQ(piece, b.Const(5))
+	b.Op2To(material, ir.Add, material, b.Mul(isQ, b.Const(900)))
+	b.Jump(sqlatch)
+
+	b.SetBlock(sqlatch)
+	b.Op2To(sq, ir.Add, sq, b.Const(1))
+	b.Br(b.CmpLT(sq, b.Const(64)), sqloop, platch)
+
+	b.SetBlock(platch)
+	b.Op2To(pos, ir.Add, pos, b.Const(1))
+	b.Br(b.CmpLT(pos, positions), ploop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(score, material)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(positions int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		for k := int64(0); k < positions*64; k++ {
+			// ~60% empty squares, pieces 1..5 otherwise.
+			if g.intn(10) < 6 {
+				mem[boardObj.Base+k] = 0
+			} else {
+				mem[boardObj.Base+k] = 1 + g.intn(5)
+			}
+		}
+		for s := int64(0); s < 64; s++ {
+			mem[pawnTblObj.Base+s] = g.intn(40) - 20
+			mem[knightTblObj.Base+s] = g.intn(60) - 30
+			mem[bishopTblObj.Base+s] = g.intn(60) - 30
+			mem[rookTblObj.Base+s] = g.intn(40) - 20
+		}
+		return Input{Args: []int64{positions}, Mem: mem}
+	}
+	return &Workload{
+		Name: "458.sjeng", Function: "std_eval", Suite: "SPEC-CPU", ExecPct: 26,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(64, 111) },
+		Ref:   func() Input { return mkInput(maxPositions, 112) },
+	}
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Twolf builds the new_dbox_a kernel of 300.twolf (30% of execution):
+// per-net bounding-box cost evaluation — an outer loop over nets and an
+// inner loop over terminals with min/max hammocks on both coordinates,
+// pure integer control-heavy code.
+func Twolf() *Workload {
+	const maxNets = 512
+	const maxTerms = 8192
+	b := ir.NewBuilder("twolf")
+	netStartObj := b.Array("netstart", maxNets+1)
+	termCellObj := b.Array("termcell", maxTerms)
+	xposObj := b.Array("xpos", 1024)
+	yposObj := b.Array("ypos", 1024)
+	xoffObj := b.Array("xoff", maxTerms)
+	yoffObj := b.Array("yoff", maxTerms)
+	nets := b.Param()
+
+	nloop := b.Block("nloop")
+	tcheck := b.Block("tcheck")
+	tloop := b.Block("tloop")
+	xlo := b.Block("xlo")
+	xhiChk := b.Block("xhiChk")
+	xhi := b.Block("xhi")
+	ylo := b.Block("ylo")
+	yloSet := b.Block("yloSet")
+	yhiChk := b.Block("yhiChk")
+	yhi := b.Block("yhi")
+	tlatch := b.Block("tlatch")
+	nlatch := b.Block("nlatch")
+	exit := b.Block("exit")
+
+	f := b.F
+	net := f.NewReg()
+	t := f.NewReg()
+	tend := f.NewReg()
+	xmin := f.NewReg()
+	xmax := f.NewReg()
+	ymin := f.NewReg()
+	ymax := f.NewReg()
+	xv := f.NewReg()
+	yv := f.NewReg()
+	cost := f.NewReg()
+
+	b.ConstTo(net, 0)
+	b.ConstTo(cost, 0)
+	b.Jump(nloop)
+
+	b.SetBlock(nloop)
+	b.LoadTo(t, b.Add(b.AddrOf(netStartObj), net), 0)
+	b.LoadTo(tend, b.Add(b.AddrOf(netStartObj), net), 1)
+	b.ConstTo(xmin, 1<<30)
+	b.ConstTo(xmax, -(1 << 30))
+	b.ConstTo(ymin, 1<<30)
+	b.ConstTo(ymax, -(1 << 30))
+	b.Jump(tcheck)
+
+	b.SetBlock(tcheck)
+	b.Br(b.CmpLT(t, tend), tloop, nlatch)
+
+	b.SetBlock(tloop)
+	cell := b.Load(b.Add(b.AddrOf(termCellObj), t), 0)
+	b.Op2To(xv, ir.Add,
+		b.Load(b.Add(b.AddrOf(xposObj), cell), 0),
+		b.Load(b.Add(b.AddrOf(xoffObj), t), 0))
+	b.Op2To(yv, ir.Add,
+		b.Load(b.Add(b.AddrOf(yposObj), cell), 0),
+		b.Load(b.Add(b.AddrOf(yoffObj), t), 0))
+	b.Br(b.CmpLT(xv, xmin), xlo, xhiChk)
+
+	b.SetBlock(xlo)
+	b.MovTo(xmin, xv)
+	b.Jump(xhiChk)
+
+	b.SetBlock(xhiChk)
+	b.Br(b.CmpGT(xv, xmax), xhi, ylo)
+
+	b.SetBlock(xhi)
+	b.MovTo(xmax, xv)
+	b.Jump(ylo)
+
+	b.SetBlock(ylo)
+	b.Br(b.CmpLT(yv, ymin), yloSet, yhiChk)
+
+	b.SetBlock(yloSet)
+	b.MovTo(ymin, yv)
+	b.Jump(yhiChk)
+
+	b.SetBlock(yhiChk)
+	b.Br(b.CmpGT(yv, ymax), yhi, tlatch)
+
+	b.SetBlock(yhi)
+	b.MovTo(ymax, yv)
+	b.Jump(tlatch)
+
+	b.SetBlock(tlatch)
+	b.Op2To(t, ir.Add, t, b.Const(1))
+	b.Jump(tcheck)
+
+	b.SetBlock(nlatch)
+	span := b.Add(b.Sub(xmax, xmin), b.Sub(ymax, ymin))
+	b.Op2To(cost, ir.Add, cost, span)
+	b.Op2To(net, ir.Add, net, b.Const(1))
+	b.Br(b.CmpLT(net, nets), nloop, exit)
+
+	b.SetBlock(exit)
+	b.Ret(cost)
+
+	f.SplitCriticalEdges()
+
+	mkInput := func(nets, termsPerNet int64, seed uint64) Input {
+		mem := make([]int64, b.MemSize())
+		g := newLCG(seed)
+		pos := int64(0)
+		for nt := int64(0); nt < nets; nt++ {
+			mem[netStartObj.Base+nt] = pos
+			cnt := 2 + g.intn(termsPerNet)
+			for c := int64(0); c < cnt && pos < maxTerms; c++ {
+				mem[termCellObj.Base+pos] = g.intn(1024)
+				mem[xoffObj.Base+pos] = g.intn(50) - 25
+				mem[yoffObj.Base+pos] = g.intn(50) - 25
+				pos++
+			}
+		}
+		mem[netStartObj.Base+nets] = pos
+		for c := int64(0); c < 1024; c++ {
+			mem[xposObj.Base+c] = g.intn(10000)
+			mem[yposObj.Base+c] = g.intn(10000)
+		}
+		return Input{Args: []int64{nets}, Mem: mem}
+	}
+	return &Workload{
+		Name: "300.twolf", Function: "new_dbox_a", Suite: "SPEC-CPU", ExecPct: 30,
+		F: f, Objects: b.Objects,
+		Train: func() Input { return mkInput(48, 6, 91) },
+		Ref:   func() Input { return mkInput(maxNets, 14, 92) },
+	}
+}

@@ -1,0 +1,92 @@
+// Package workloads provides the eleven benchmark kernels of Figure 6(b)
+// hand-written in the framework's IR. Each kernel mirrors the loop
+// structure, control flow, and dependence shape of the original function
+// (adpcm_decoder, FindMaxGpAndSwap, dist1, refresh_potential, smvp, ...);
+// the data is synthetic, generated deterministically, because the figures
+// are driven by dependence structure rather than by particular values.
+//
+// Every workload carries a "train" input (used for profiling, as in the
+// paper's methodology) and a larger "reference" input (used for
+// measurement).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Input is one input set: parameter values and an initial memory image.
+type Input struct {
+	Args []int64
+	Mem  []int64
+}
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	// Name is the short benchmark name used throughout the paper's
+	// figures (e.g. "ks", "mpeg2enc").
+	Name string
+	// Function is the parallelized function's name in the original
+	// benchmark (Figure 6(b)).
+	Function string
+	// Suite is the benchmark suite of origin.
+	Suite string
+	// ExecPct is the fraction of benchmark execution time the function
+	// accounts for (Figure 6(b)).
+	ExecPct int
+
+	F       *ir.Function
+	Objects []ir.MemObject
+
+	// Train and Ref build fresh input sets (memory images are mutated by
+	// runs, so each call returns a new copy).
+	Train func() Input
+	Ref   func() Input
+}
+
+// All returns every workload, in the order of Figure 6(b).
+func All() []*Workload {
+	return []*Workload{
+		ADPCMDec(),
+		ADPCMEnc(),
+		KS(),
+		MPEG2Enc(),
+		Mesa(),
+		MCF(),
+		Equake(),
+		AMMP(),
+		Twolf(),
+		Gromacs(),
+		Sjeng(),
+	}
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// lcg is a small deterministic generator for synthetic inputs.
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed*6364136223846793005 + 1442695040888963407} }
+
+func (g *lcg) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state >> 17
+}
+
+// intn returns a value in [0, n).
+func (g *lcg) intn(n int64) int64 { return int64(g.next() % uint64(n)) }
+
+// f64 returns a value in [0, 1).
+func (g *lcg) f64() float64 { return float64(g.next()%(1<<30)) / float64(1<<30) }
+
+// fbits returns the register encoding of a float64.
+func fbits(v float64) int64 { return int64(ir.Float64Bits(v)) }

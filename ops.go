@@ -1,0 +1,38 @@
+package gmt
+
+import "repro/internal/ir"
+
+// Op is an IR opcode.
+type Op = ir.Op
+
+// Re-exported opcodes for clients that build regions with Builder.Op2To and
+// friends (destructive updates of loop-carried registers).
+const (
+	OpAdd    = ir.Add
+	OpSub    = ir.Sub
+	OpMul    = ir.Mul
+	OpDiv    = ir.Div
+	OpRem    = ir.Rem
+	OpAnd    = ir.And
+	OpOr     = ir.Or
+	OpXor    = ir.Xor
+	OpShl    = ir.Shl
+	OpShr    = ir.Shr
+	OpMov    = ir.Mov
+	OpAbs    = ir.Abs
+	OpCmpEQ  = ir.CmpEQ
+	OpCmpNE  = ir.CmpNE
+	OpCmpLT  = ir.CmpLT
+	OpCmpLE  = ir.CmpLE
+	OpCmpGT  = ir.CmpGT
+	OpCmpGE  = ir.CmpGE
+	OpFAdd   = ir.FAdd
+	OpFSub   = ir.FSub
+	OpFMul   = ir.FMul
+	OpFDiv   = ir.FDiv
+	OpFSqrt  = ir.FSqrt
+	OpFCmpLT = ir.FCmpLT
+	OpFCmpGT = ir.FCmpGT
+	OpLoad   = ir.Load
+	OpStore  = ir.Store
+)

@@ -1,0 +1,133 @@
+package gmt_test
+
+import (
+	"testing"
+
+	gmt "repro"
+	"repro/internal/workloads"
+)
+
+// TestStaticProfileParallelization exercises the profile-free path on every
+// benchmark workload: the generated code must still be correct, and COCO
+// must still never increase communication relative to plain MTCG under the
+// same (statically estimated) profile.
+func TestStaticProfileParallelization(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := w.Train()
+			want, _, err := gmt.ExecuteSingle(w.F, in.Args, append([]int64(nil), in.Mem...))
+			if err != nil {
+				t.Fatalf("ExecuteSingle: %v", err)
+			}
+			var comm [2]int64
+			for i, useCoco := range []bool{false, true} {
+				res, err := gmt.Parallelize(w.F, w.Objects, gmt.Config{
+					Scheduler:     gmt.SchedulerGREMIO,
+					COCO:          useCoco,
+					StaticProfile: true,
+				})
+				if err != nil {
+					t.Fatalf("coco=%v: Parallelize: %v", useCoco, err)
+				}
+				out, err := gmt.Execute(res, in.Args, append([]int64(nil), in.Mem...))
+				if err != nil {
+					t.Fatalf("coco=%v: Execute: %v", useCoco, err)
+				}
+				for j := range want {
+					if out.LiveOuts[j] != want[j] {
+						t.Errorf("coco=%v: live-out %d = %d, want %d",
+							useCoco, j, out.LiveOuts[j], want[j])
+					}
+				}
+				comm[i] = out.Stats.Comm()
+			}
+			if comm[1] > comm[0] {
+				t.Errorf("COCO increased communication under static profile: %d -> %d",
+					comm[0], comm[1])
+			}
+		})
+	}
+}
+
+// TestStaticProfileCloseToMeasured compares COCO's outcome under static and
+// measured profiles on one benchmark: static estimation should not be
+// catastrophically worse (the paper cites [28]: static estimates are
+// "also very accurate").
+func TestStaticProfileCloseToMeasured(t *testing.T) {
+	w, err := workloads.ByName("ks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.Train()
+	measure := func(static bool) int64 {
+		cfg := gmt.Config{Scheduler: gmt.SchedulerGREMIO, COCO: true}
+		if static {
+			cfg.StaticProfile = true
+		} else {
+			cfg.Profile = gmt.ProfileInput{Args: in.Args, Mem: append([]int64(nil), in.Mem...)}
+		}
+		res, err := gmt.Parallelize(w.F, w.Objects, cfg)
+		if err != nil {
+			t.Fatalf("Parallelize(static=%v): %v", static, err)
+		}
+		ref := w.Ref()
+		out, err := gmt.Execute(res, ref.Args, ref.Mem)
+		if err != nil {
+			t.Fatalf("Execute(static=%v): %v", static, err)
+		}
+		return out.Stats.Comm()
+	}
+	measured := measure(false)
+	static := measure(true)
+	if measured == 0 {
+		t.Skip("no communication under measured profile")
+	}
+	ratio := float64(static) / float64(measured)
+	if ratio > 3.0 {
+		t.Errorf("static-profile communication %d is %.1fx the measured-profile %d",
+			static, ratio, measured)
+	}
+	t.Logf("communication: measured-profile=%d static-profile=%d (%.2fx)", measured, static, ratio)
+}
+
+// TestMultiThreadParallelization checks 3- and 4-thread extraction end to
+// end (the paper evaluates 2 threads but expects COCO's benefit to grow
+// with more).
+func TestMultiThreadParallelization(t *testing.T) {
+	for _, name := range []string{"ks", "183.equake"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := w.Train()
+		want, _, err := gmt.ExecuteSingle(w.F, in.Args, append([]int64(nil), in.Mem...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{3, 4} {
+			res, err := gmt.Parallelize(w.F, w.Objects, gmt.Config{
+				Scheduler: gmt.SchedulerGREMIO,
+				COCO:      true,
+				Threads:   threads,
+				Profile:   gmt.ProfileInput{Args: in.Args, Mem: append([]int64(nil), in.Mem...)},
+			})
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if len(res.Threads) != threads {
+				t.Fatalf("%s: got %d thread functions, want %d", name, len(res.Threads), threads)
+			}
+			out, err := gmt.Execute(res, in.Args, append([]int64(nil), in.Mem...))
+			if err != nil {
+				t.Fatalf("%s threads=%d: Execute: %v", name, threads, err)
+			}
+			for j := range want {
+				if out.LiveOuts[j] != want[j] {
+					t.Errorf("%s threads=%d: live-out %d = %d, want %d",
+						name, threads, j, out.LiveOuts[j], want[j])
+				}
+			}
+		}
+	}
+}
