@@ -11,10 +11,12 @@
 package gmt_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/exp"
 	"repro/internal/interp"
@@ -210,6 +212,12 @@ func BenchmarkAblationDinicFlow(b *testing.B) {
 	ablationComm(b, "rel-comm-%", opts)
 }
 
+func BenchmarkAblationEdmondsKarpFlow(b *testing.B) {
+	opts := coco.DefaultOptions()
+	opts.EdmondsKarp = true
+	ablationComm(b, "rel-comm-%", opts)
+}
+
 func BenchmarkAblationQueueAllocation(b *testing.B) {
 	w, err := workloads.ByName("ks")
 	if err != nil {
@@ -279,7 +287,7 @@ func BenchmarkCompilePipeline(b *testing.B) {
 
 // profileOnce collects a training profile for a workload.
 func profileOnce(w *workloads.Workload, in workloads.Input) (*ir.Profile, error) {
-	res, err := interp.Run(w.F, in.Args, in.Mem, 200_000_000)
+	res, err := interp.Run(w.F, in.Args, in.Mem, budget.Experiments().ProfileSteps)
 	if err != nil {
 		return nil, err
 	}
@@ -343,6 +351,34 @@ func BenchmarkSensitivitySAPorts(b *testing.B) {
 		b.Run(fmt.Sprintf("ports=%d", ports), func(b *testing.B) {
 			s := sensitivityCycles(b, func(c *sim.Config) { c.SAPorts = ports })
 			b.ReportMetric(s, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkExperimentEngine runs the full figure matrix (communication and
+// speedup, all workloads, both partitioners) through the concurrent
+// engine at several worker-pool sizes. On a 4-core machine jobs=4 is
+// expected to be >=2x faster wall-clock than jobs=1; per-workload
+// profiling and PDG construction are memoized, so every variant also does
+// 4x less analysis work than the pre-engine serial harness.
+func BenchmarkExperimentEngine(b *testing.B) {
+	ws := workloads.All()
+	cfg := sim.DefaultConfig()
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := exp.NewEngine(exp.EngineOptions{Jobs: jobs})
+				if _, err := eng.CommExperiment(context.Background(), ws); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.SpeedupExperiment(context.Background(), cfg, ws); err != nil {
+					b.Fatal(err)
+				}
+				stats := eng.Stats()
+				if stats.ProfileRuns != int64(len(ws)) || stats.PDGBuilds != int64(len(ws)) {
+					b.Fatalf("memoization broken: %+v for %d workloads", stats, len(ws))
+				}
+			}
 		})
 	}
 }

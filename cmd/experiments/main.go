@@ -3,16 +3,25 @@
 // breakdown under MTCG (1), COCO's communication reduction (7), and the
 // speedups over single-threaded execution (8).
 //
+// The workload × partitioner matrix is fanned out over a worker pool
+// (-j/-jobs, default GOMAXPROCS; -j 1 restores the serial path) with
+// per-workload profiling and PDG construction memoized and shared between
+// figures, so parallel runs emit byte-identical figure rows to serial
+// runs. Wall-clock time per figure is reported on stderr.
+//
 // Usage:
 //
-//	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...]
+//	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/sim"
@@ -22,7 +31,19 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 6a, 6b, 7, 8")
 	sel := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool size for the experiment matrix (1 = serial)")
+	flag.IntVar(jobs, "j", runtime.GOMAXPROCS(0), "shorthand for -jobs")
 	flag.Parse()
+
+	switch *fig {
+	case "all", "1", "6a", "6b", "7", "8":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (want all, 1, 6a, 6b, 7 or 8)\n", *fig)
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
 
 	ws := workloads.All()
 	if *sel != "" {
@@ -37,8 +58,18 @@ func main() {
 		}
 	}
 	cfg := sim.DefaultConfig()
+	ctx := context.Background()
+	engine := exp.NewEngine(exp.EngineOptions{Jobs: *jobs})
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
+	timed := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figure %s: %v (j=%d)\n", name, time.Since(start).Round(time.Millisecond), *jobs)
+	}
 
 	if want("6a") {
 		exp.RenderFig6a(os.Stdout, cfg)
@@ -50,12 +81,11 @@ func main() {
 	}
 	var commRows []exp.CommRow
 	if want("1") || want("7") {
-		var err error
-		commRows, err = exp.CommExperiment(ws)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		timed("1+7 (measure)", func() error {
+			var err error
+			commRows, err = engine.CommExperiment(ctx, ws)
+			return err
+		})
 	}
 	if want("1") {
 		exp.RenderFig1(os.Stdout, commRows, "GREMIO")
@@ -68,11 +98,12 @@ func main() {
 		fmt.Println()
 	}
 	if want("8") {
-		rows, err := exp.SpeedupExperiment(cfg, ws)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		var rows []exp.SpeedupRow
+		timed("8 (simulate)", func() error {
+			var err error
+			rows, err = engine.SpeedupExperiment(ctx, cfg, ws)
+			return err
+		})
 		exp.RenderFig8(os.Stdout, rows)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/exp"
 	"repro/internal/interp"
@@ -56,11 +57,11 @@ func main() {
 	// Correctness: the multi-threaded reference run must match the
 	// single-threaded one.
 	ref := w.Ref()
-	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), 500_000_000)
+	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), budget.Default().ProfileSteps)
 	die(err)
 	mt, err := interp.RunMT(interp.MTConfig{
 		Threads: prog.Threads, NumQueues: prog.NumQueues, Assign: pipe.Assign,
-		Args: ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: 500_000_000,
+		Args: ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: budget.Default().MeasureSteps,
 	})
 	die(err)
 	for i := range st.LiveOuts {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -32,7 +33,7 @@ func main() {
 	w, err := workloads.ByName(*name)
 	die(err)
 	in := w.Train()
-	st, err := interp.Run(w.F, in.Args, in.Mem, 200_000_000)
+	st, err := interp.Run(w.F, in.Args, in.Mem, budget.Experiments().ProfileSteps)
 	die(err)
 	g := pdg.Build(w.F, w.Objects)
 

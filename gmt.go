@@ -24,18 +24,30 @@
 package gmt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mtcg"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/pdg"
 	"repro/internal/queue"
 	"repro/internal/sim"
 )
+
+// Budget bounds the interpreter and simulator runs the framework performs:
+// profiling, execution, and cycle-level simulation. It is shared with the
+// experiment harness so the public API and the figure engine draw their
+// limits from one place. The zero value means DefaultBudget().
+type Budget = budget.Budget
+
+// DefaultBudget returns the budgets used when Config.Budget is zero.
+func DefaultBudget() Budget { return budget.Default() }
 
 // Re-exported IR types: the vocabulary clients build regions with.
 type (
@@ -112,6 +124,9 @@ type Config struct {
 	// KeepPerDepQueues disables queue allocation, keeping MTCG's one
 	// queue per dependence.
 	KeepPerDepQueues bool
+	// Budget bounds the profiling, execution, and simulation runs; zero
+	// fields default to DefaultBudget().
+	Budget Budget
 }
 
 // Result is a parallelized region.
@@ -128,6 +143,7 @@ type Result struct {
 	orig    *ir.Function
 	objects []ir.MemObject
 	program *mtcg.Program
+	budget  Budget
 }
 
 // Original returns the region the result was produced from.
@@ -147,11 +163,12 @@ func Parallelize(f *Function, objects []MemObject, cfg Config) (*Result, error) 
 	if cfg.Threads == 0 {
 		cfg.Threads = 2
 	}
+	cfg.Budget = cfg.Budget.OrElse(budget.Default())
 	var edgeProf *ir.Profile
 	if cfg.StaticProfile {
 		edgeProf = analysis.EstimateProfile(f)
 	} else {
-		res, err := interp.Run(f, cfg.Profile.Args, cfg.Profile.Mem, 500_000_000)
+		res, err := interp.Run(f, cfg.Profile.Args, cfg.Profile.Mem, cfg.Budget.ProfileSteps)
 		if err != nil {
 			return nil, fmt.Errorf("gmt: profiling: %w", err)
 		}
@@ -203,7 +220,37 @@ func Parallelize(f *Function, objects []MemObject, cfg Config) (*Result, error) 
 		orig:      f,
 		objects:   objects,
 		program:   prog,
+		budget:    cfg.Budget,
 	}, nil
+}
+
+// Job is one region for ParallelizeAll.
+type Job struct {
+	F       *Function
+	Objects []MemObject
+	Config  Config
+}
+
+// ParallelizeAll runs Parallelize over many independent regions
+// concurrently, using up to jobs workers (jobs <= 0 means GOMAXPROCS).
+// Results are returned in input order; the first error aborts dispatch of
+// the remaining regions and is returned after in-flight work finishes.
+// Regions must not share mutable state — each Job's Function is compiled,
+// and its profile input executed, on its own worker.
+func ParallelizeAll(ctx context.Context, jobs int, work []Job) ([]*Result, error) {
+	results := make([]*Result, len(work))
+	err := par.Run(ctx, jobs, len(work), func(i int) error {
+		r, err := Parallelize(work[i].F, work[i].Objects, work[i].Config)
+		if err != nil {
+			return fmt.Errorf("gmt: region %d (%s): %w", i, work[i].F.Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // ExecResult is the outcome of executing a parallelized region.
@@ -225,7 +272,7 @@ func Execute(r *Result, args []int64, mem Memory) (*ExecResult, error) {
 		Assign:    r.Assign,
 		Args:      args,
 		Mem:       mem,
-		MaxSteps:  500_000_000,
+		MaxSteps:  r.budget.OrElse(budget.Default()).MeasureSteps,
 	})
 	if err != nil {
 		return nil, err
@@ -236,7 +283,7 @@ func Execute(r *Result, args []int64, mem Memory) (*ExecResult, error) {
 // ExecuteSingle runs the original single-threaded region, returning its
 // live-outs and dynamic instruction count — the golden reference.
 func ExecuteSingle(f *Function, args []int64, mem Memory) (liveOuts []int64, steps int64, err error) {
-	res, err := interp.Run(f, args, mem, 500_000_000)
+	res, err := interp.Run(f, args, mem, budget.Default().ProfileSteps)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -246,7 +293,7 @@ func ExecuteSingle(f *Function, args []int64, mem Memory) (liveOuts []int64, ste
 // Simulate times the parallelized region on the cycle-level CMP model and
 // returns the cycle count.
 func Simulate(r *Result, cfg MachineConfig, args []int64, mem []int64) (int64, error) {
-	res, err := sim.Run(cfg, r.Threads, args, mem, 2_000_000_000)
+	res, err := sim.Run(cfg, r.Threads, args, mem, r.budget.OrElse(budget.Default()).SimCycles)
 	if err != nil {
 		return 0, err
 	}
@@ -255,7 +302,7 @@ func Simulate(r *Result, cfg MachineConfig, args []int64, mem []int64) (int64, e
 
 // SimulateSingle times the original region on one core of the machine.
 func SimulateSingle(f *Function, cfg MachineConfig, args []int64, mem []int64) (int64, error) {
-	res, err := sim.RunSingle(cfg, f, args, mem, 2_000_000_000)
+	res, err := sim.RunSingle(cfg, f, args, mem, budget.Default().SimCycles)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,8 @@
 package gmt_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	gmt "repro"
@@ -224,5 +226,76 @@ func TestResultAccessors(t *testing.T) {
 	}
 	if res.Profile == nil {
 		t.Error("Profile missing")
+	}
+}
+
+// TestParallelizeAllMatchesSerial fans several independent regions out
+// over the worker pool and checks each result behaves identically to a
+// serial Parallelize of the same region.
+func TestParallelizeAllMatchesSerial(t *testing.T) {
+	var jobs []gmt.Job
+	var inputs [][2][]int64
+	for i := 0; i < 6; i++ {
+		f, objs, arr := buildSumKernel()
+		args, mem := sumInput(arr)
+		sched := gmt.SchedulerDSWP
+		if i%2 == 1 {
+			sched = gmt.SchedulerGREMIO
+		}
+		jobs = append(jobs, gmt.Job{F: f, Objects: objs, Config: gmt.Config{
+			Scheduler: sched,
+			COCO:      true,
+			Profile:   gmt.ProfileInput{Args: args, Mem: append([]int64(nil), mem...)},
+		}})
+		inputs = append(inputs, [2][]int64{args, mem})
+	}
+
+	results, err := gmt.ParallelizeAll(context.Background(), 4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results, want %d", len(results), len(jobs))
+	}
+	for i, res := range results {
+		args, mem := inputs[i][0], inputs[i][1]
+		want, _, err := gmt.ExecuteSingle(jobs[i].F, args, append([]int64(nil), mem...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := gmt.Execute(res, args, append([]int64(nil), mem...))
+		if err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		if out.LiveOuts[0] != want[0] {
+			t.Errorf("region %d: result %d, want %d", i, out.LiveOuts[0], want[0])
+		}
+	}
+}
+
+// TestParallelizeAllCancelled checks a cancelled context aborts the fan-out.
+func TestParallelizeAllCancelled(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	jobs := []gmt.Job{{F: f, Objects: objs, Config: gmt.Config{
+		Profile: gmt.ProfileInput{Args: args, Mem: mem},
+	}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := gmt.ParallelizeAll(ctx, 2, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestConfigBudgetEnforced checks the Budget option reaches the profiler.
+func TestConfigBudgetEnforced(t *testing.T) {
+	f, objs, arr := buildSumKernel()
+	args, mem := sumInput(arr)
+	_, err := gmt.Parallelize(f, objs, gmt.Config{
+		Profile: gmt.ProfileInput{Args: args, Mem: mem},
+		Budget:  gmt.Budget{ProfileSteps: 5},
+	})
+	if err == nil {
+		t.Fatal("want step-limit error under a 5-step budget")
 	}
 }

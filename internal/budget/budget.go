@@ -1,0 +1,56 @@
+// Package budget centralizes the execution budgets that bound every
+// interpreter and simulator run in the framework. Historically the public
+// API (gmt), the experiment harness (internal/exp), and the command-line
+// tools each hard-coded their own step and cycle limits; keeping them in
+// one struct means the engine and the public API cannot drift apart.
+package budget
+
+// Budget bounds the three kinds of dynamic execution the framework
+// performs. A zero field means "use the corresponding default" — callers
+// normalize with OrElse before use, so partially-filled budgets compose.
+type Budget struct {
+	// ProfileSteps bounds single-threaded interpreter runs: train-input
+	// profiling and golden-reference executions.
+	ProfileSteps int64
+	// MeasureSteps bounds multi-threaded interpreter runs (the
+	// communication measurements behind Figures 1 and 7).
+	MeasureSteps int64
+	// SimCycles bounds cycle-level simulator runs (Figure 8).
+	SimCycles int64
+}
+
+// Default returns the public API's budgets: generous limits sized for
+// arbitrary client regions (gmt.Parallelize, gmt.Execute, gmt.Simulate).
+func Default() Budget {
+	return Budget{
+		ProfileSteps: 500_000_000,
+		MeasureSteps: 500_000_000,
+		SimCycles:    2_000_000_000,
+	}
+}
+
+// Experiments returns the experiment harness's budgets: the limits the
+// paper-reproduction figures are measured under, tight enough that a
+// runaway workload fails fast.
+func Experiments() Budget {
+	return Budget{
+		ProfileSteps: 200_000_000,
+		MeasureSteps: 200_000_000,
+		SimCycles:    500_000_000,
+	}
+}
+
+// OrElse returns b with every zero field replaced by the corresponding
+// field of def.
+func (b Budget) OrElse(def Budget) Budget {
+	if b.ProfileSteps == 0 {
+		b.ProfileSteps = def.ProfileSteps
+	}
+	if b.MeasureSteps == 0 {
+		b.MeasureSteps = def.MeasureSteps
+	}
+	if b.SimCycles == 0 {
+		b.SimCycles = def.SimCycles
+	}
+	return b
+}

@@ -1,0 +1,38 @@
+package budget_test
+
+import (
+	"testing"
+
+	"repro/internal/budget"
+)
+
+func TestOrElseFillsZeroFields(t *testing.T) {
+	def := budget.Default()
+	if got := (budget.Budget{}).OrElse(def); got != def {
+		t.Errorf("zero budget OrElse = %+v, want %+v", got, def)
+	}
+	partial := budget.Budget{ProfileSteps: 7}
+	got := partial.OrElse(def)
+	if got.ProfileSteps != 7 {
+		t.Errorf("explicit field overwritten: %+v", got)
+	}
+	if got.MeasureSteps != def.MeasureSteps || got.SimCycles != def.SimCycles {
+		t.Errorf("zero fields not defaulted: %+v", got)
+	}
+}
+
+func TestPresetsArePositive(t *testing.T) {
+	for name, b := range map[string]budget.Budget{
+		"Default":     budget.Default(),
+		"Experiments": budget.Experiments(),
+	} {
+		if b.ProfileSteps <= 0 || b.MeasureSteps <= 0 || b.SimCycles <= 0 {
+			t.Errorf("%s has non-positive field: %+v", name, b)
+		}
+	}
+	// The experiment harness runs under tighter limits than the public
+	// API: a regression here silently changes the figures' methodology.
+	if e, d := budget.Experiments(), budget.Default(); e.ProfileSteps > d.ProfileSteps || e.SimCycles > d.SimCycles {
+		t.Errorf("Experiments() exceeds Default(): %+v vs %+v", e, d)
+	}
+}

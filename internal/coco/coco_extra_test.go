@@ -1,6 +1,7 @@
 package coco_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/coco"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mtcg"
 	"repro/internal/pdg"
+	"repro/internal/randprog"
 	"repro/internal/testprog"
 )
 
@@ -23,7 +25,9 @@ func TestDinicMatchesEdmondsKarp(t *testing.T) {
 		{"fig5", testprog.Fig5()},
 	} {
 		t.Run(fx.name, func(t *testing.T) {
-			ek := plan(t, fx.p, coco.DefaultOptions())
+			ekOpts := coco.DefaultOptions()
+			ekOpts.EdmondsKarp = true
+			ek := plan(t, fx.p, ekOpts)
 			dOpts := coco.DefaultOptions()
 			dOpts.Dinic = true
 			dn := plan(t, fx.p, dOpts)
@@ -47,6 +51,63 @@ func TestDinicMatchesEdmondsKarp(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDinicMatchesEdmondsKarpRandom extends the fixture check to random
+// programs and random partitions: for every generated (program, partition)
+// pair the two max-flow engines must choose the same communication
+// placements, because each min-cut flow network has a unique source-side
+// and sink-side minimum cut regardless of the maximum flow found.
+func TestDinicMatchesEdmondsKarpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		st, err := interp.Run(p.F, p.Args, append([]int64(nil), p.Mem...), 5_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: single-threaded run: %v", trial, err)
+		}
+		g := pdg.Build(p.F, p.Objects)
+		assign := map[*ir.Instr]int{}
+		p.F.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.Jump && in.Op != ir.Nop {
+				assign[in] = rng.Intn(2)
+			}
+		})
+
+		ekOpts := coco.DefaultOptions()
+		ekOpts.EdmondsKarp = true
+		ek, errEK := coco.Plan(p.F, g, assign, 2, st.Profile, ekOpts)
+		dnOpts := coco.DefaultOptions()
+		dnOpts.Dinic = true
+		dn, errDN := coco.Plan(p.F, g, assign, 2, st.Profile, dnOpts)
+		if (errEK == nil) != (errDN == nil) {
+			t.Fatalf("trial %d: EK err %v, Dinic err %v", trial, errEK, errDN)
+		}
+		if errEK != nil {
+			continue // both rejected the partition identically
+		}
+		if len(ek.Comms) != len(dn.Comms) {
+			t.Fatalf("trial %d: comm count EK %d, Dinic %d", trial, len(ek.Comms), len(dn.Comms))
+		}
+		for i := range ek.Comms {
+			a, b := ek.Comms[i], dn.Comms[i]
+			if a.Kind != b.Kind || a.Reg != b.Reg || a.Src != b.Src || a.Dst != b.Dst {
+				t.Fatalf("trial %d: comm %d differs: %v vs %v", trial, i, a, b)
+			}
+			if len(a.Points) != len(b.Points) {
+				t.Fatalf("trial %d: comm %d points: EK %v, Dinic %v", trial, i, a.Points, b.Points)
+			}
+			for j := range a.Points {
+				if a.Points[j] != b.Points[j] {
+					t.Fatalf("trial %d: comm %d point %d: EK %v, Dinic %v", trial, i, j, a.Points[j], b.Points[j])
+				}
+			}
+		}
 	}
 }
 

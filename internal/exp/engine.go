@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/budget"
+	"repro/internal/coco"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Jobs is the worker-pool size for experiment matrices; <= 0 means
+	// runtime.GOMAXPROCS(0). Jobs == 1 restores the serial path.
+	Jobs int
+	// Budget bounds interpreter and simulator runs; zero fields default
+	// to budget.Experiments(), the paper's limits.
+	Budget budget.Budget
+	// Coco, when non-nil, overrides coco.DefaultOptions() for every
+	// pipeline the engine builds (nil rather than a zero Options because
+	// the zero value — everything off — is a meaningful ablation).
+	Coco *coco.Options
+}
+
+// Engine runs the workload × partitioner experiment matrix concurrently,
+// memoizing per-workload analysis artifacts. The train-input profile and
+// the PDG are computed exactly once per workload, and each (workload,
+// partitioner) pipeline exactly once per engine, shared between the
+// communication and speedup experiments; the serial harness recomputed
+// both for every figure. All caches are filled under sync.Once, so any
+// number of concurrent experiments observe exactly one build.
+//
+// Results are deterministic: matrix cells are identified by their index in
+// the serial iteration order and written to preallocated slots, so an
+// engine at any Jobs setting emits byte-identical rows to the serial path.
+//
+// Cache slots record the first outcome permanently (sync.Once), including
+// a cancellation that landed mid-build — discard an engine whose run was
+// cancelled rather than reusing it.
+type Engine struct {
+	jobs   int
+	budget budget.Budget
+	opts   coco.Options
+
+	profileRuns atomic.Int64
+	pdgBuilds   atomic.Int64
+
+	mu        sync.Mutex
+	artifacts map[string]*memo[*Artifact]
+	pipelines map[string]*memo[*Pipeline]
+	stCycles  map[stKey]*memo[int64]
+}
+
+// memo is a once-filled cache slot.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// do fills the slot on first use and returns the cached result afterwards.
+func (m *memo[T]) do(f func() (T, error)) (T, error) {
+	m.once.Do(func() { m.val, m.err = f() })
+	return m.val, m.err
+}
+
+type stKey struct {
+	workload string
+	cfg      sim.Config
+}
+
+// NewEngine returns an engine with empty caches.
+func NewEngine(o EngineOptions) *Engine {
+	opts := coco.DefaultOptions()
+	if o.Coco != nil {
+		opts = *o.Coco
+	}
+	return &Engine{
+		jobs:      o.Jobs,
+		budget:    o.Budget.OrElse(budget.Experiments()),
+		opts:      opts,
+		artifacts: map[string]*memo[*Artifact]{},
+		pipelines: map[string]*memo[*Pipeline]{},
+		stCycles:  map[stKey]*memo[int64]{},
+	}
+}
+
+// EngineStats counts the expensive analysis work an engine has performed;
+// tests assert the caches collapse the 4× recomputation of the serial
+// harness to exactly one profile and one PDG per workload.
+type EngineStats struct {
+	ProfileRuns int64 // train-input interpreter passes
+	PDGBuilds   int64 // PDG constructions
+}
+
+// Stats returns the engine's work counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{ProfileRuns: e.profileRuns.Load(), PDGBuilds: e.pdgBuilds.Load()}
+}
+
+func (e *Engine) artifactSlot(name string) *memo[*Artifact] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.artifacts[name]
+	if !ok {
+		s = &memo[*Artifact]{}
+		e.artifacts[name] = s
+	}
+	return s
+}
+
+func (e *Engine) pipelineSlot(key string) *memo[*Pipeline] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.pipelines[key]
+	if !ok {
+		s = &memo[*Pipeline]{}
+		e.pipelines[key] = s
+	}
+	return s
+}
+
+func (e *Engine) stSlot(key stKey) *memo[int64] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.stCycles[key]
+	if !ok {
+		s = &memo[int64]{}
+		e.stCycles[key] = s
+	}
+	return s
+}
+
+// Artifact returns w's memoized profile + PDG, computing them on first use.
+func (e *Engine) Artifact(ctx context.Context, w *workloads.Workload) (*Artifact, error) {
+	return e.artifactSlot(w.Name).do(func() (*Artifact, error) {
+		e.profileRuns.Add(1)
+		e.pdgBuilds.Add(1)
+		return BuildArtifact(ctx, w, e.budget)
+	})
+}
+
+// Pipeline returns the memoized pipeline for (w, part), building it — and
+// its underlying artifact — on first use.
+func (e *Engine) Pipeline(ctx context.Context, w *workloads.Workload, part partition.Partitioner) (*Pipeline, error) {
+	return e.pipelineSlot(w.Name + "/" + part.Name()).do(func() (*Pipeline, error) {
+		art, err := e.Artifact(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		return BuildFromArtifact(ctx, w, part, e.opts, art, e.budget)
+	})
+}
+
+// SingleThreadedCycles returns w's memoized single-threaded cycle count on
+// the given machine.
+func (e *Engine) SingleThreadedCycles(ctx context.Context, cfg sim.Config, w *workloads.Workload) (int64, error) {
+	return e.stSlot(stKey{workload: w.Name, cfg: cfg}).do(func() (int64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
+		}
+		return singleThreadedCycles(cfg, w, e.budget)
+	})
+}
+
+// cell identifies one matrix position: the serial iteration order is
+// partitioner-major (for each partitioner, for each workload), which the
+// index encodes so parallel runs fill rows identically.
+type cell struct {
+	part partition.Partitioner
+	w    *workloads.Workload
+}
+
+func matrix(ws []*workloads.Workload) []cell {
+	var cs []cell
+	for _, part := range Partitioners() {
+		for _, w := range ws {
+			cs = append(cs, cell{part: part, w: w})
+		}
+	}
+	return cs
+}
+
+// CommExperiment produces the data behind Figures 1 and 7 for all
+// workloads under both partitioners, fanning the matrix out over the
+// engine's worker pool. Rows are in the serial order regardless of Jobs.
+func (e *Engine) CommExperiment(ctx context.Context, ws []*workloads.Workload) ([]CommRow, error) {
+	cells := matrix(ws)
+	rows := make([]CommRow, len(cells))
+	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
+		c := cells[i]
+		p, err := e.Pipeline(ctx, c.w, c.part)
+		if err != nil {
+			return err
+		}
+		naive, err := p.measureComm(ctx, p.Naive)
+		if err != nil {
+			return err
+		}
+		opt, err := p.measureComm(ctx, p.Coco)
+		if err != nil {
+			return err
+		}
+		rows[i] = CommRow{
+			Workload: c.w.Name, Partitioner: c.part.Name(),
+			Naive: naive, Coco: opt,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: communication experiment: %w", err)
+	}
+	return rows, nil
+}
+
+// SpeedupExperiment produces Figure 8's data on the given machine, fanning
+// the matrix out over the engine's worker pool. Single-threaded baselines
+// are memoized per workload, as in the serial harness.
+func (e *Engine) SpeedupExperiment(ctx context.Context, cfg sim.Config, ws []*workloads.Workload) ([]SpeedupRow, error) {
+	cells := matrix(ws)
+	rows := make([]SpeedupRow, len(cells))
+	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
+		c := cells[i]
+		st, err := e.SingleThreadedCycles(ctx, cfg, c.w)
+		if err != nil {
+			return err
+		}
+		p, err := e.Pipeline(ctx, c.w, c.part)
+		if err != nil {
+			return err
+		}
+		naive, err := p.MeasureCycles(cfg, p.Naive)
+		if err != nil {
+			return err
+		}
+		opt, err := p.MeasureCycles(cfg, p.Coco)
+		if err != nil {
+			return err
+		}
+		rows[i] = SpeedupRow{
+			Workload: c.w.Name, Partitioner: c.part.Name(),
+			STCycles: st, NaiveCycles: naive, CocoCycles: opt,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: speedup experiment: %w", err)
+	}
+	return rows, nil
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/coco"
+	"repro/internal/interp"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestEngineDeterministicAcrossJobs runs the full figure suite serially
+// and with a 4-worker pool and asserts identical CommRow/SpeedupRow output
+// — the parallel engine must emit byte-identical figure rows to the serial
+// path.
+func TestEngineDeterministicAcrossJobs(t *testing.T) {
+	ws := workloads.All()
+	cfg := sim.DefaultConfig()
+	ctx := context.Background()
+
+	serial := NewEngine(EngineOptions{Jobs: 1})
+	commSerial, err := serial.CommExperiment(ctx, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedSerial, err := serial.SpeedupExperiment(ctx, cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewEngine(EngineOptions{Jobs: 4})
+	commPar, err := par.CommExperiment(ctx, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedPar, err := par.SpeedupExperiment(ctx, cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(commSerial, commPar) {
+		t.Errorf("CommRows differ between -j 1 and -j 4:\nserial: %+v\nparallel: %+v", commSerial, commPar)
+	}
+	if !reflect.DeepEqual(speedSerial, speedPar) {
+		t.Errorf("SpeedupRows differ between -j 1 and -j 4:\nserial: %+v\nparallel: %+v", speedSerial, speedPar)
+	}
+
+	// Rendered figures must be byte-identical too.
+	var a, b strings.Builder
+	RenderFig1(&a, commSerial, "GREMIO")
+	RenderFig7(&a, commSerial)
+	RenderFig8(&a, speedSerial)
+	RenderFig1(&b, commPar, "GREMIO")
+	RenderFig7(&b, commPar)
+	RenderFig8(&b, speedPar)
+	if a.String() != b.String() {
+		t.Errorf("rendered figures differ between -j 1 and -j 4:\n--- serial ---\n%s\n--- parallel ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestEngineComputesArtifactsOnce asserts the memoization contract: over a
+// full experiment run (both figures, both partitioners) the train-input
+// profile and the PDG are each computed exactly once per workload — the
+// serial harness recomputed them once per (figure, partitioner), i.e. 4×.
+func TestEngineComputesArtifactsOnce(t *testing.T) {
+	ws := subset(t, "ks", "adpcmdec", "181.mcf")
+	cfg := sim.DefaultConfig()
+	ctx := context.Background()
+
+	e := NewEngine(EngineOptions{Jobs: 4})
+	if _, err := e.CommExperiment(ctx, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SpeedupExperiment(ctx, cfg, ws); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := e.Stats()
+	if got, want := stats.ProfileRuns, int64(len(ws)); got != want {
+		t.Errorf("profile runs = %d, want exactly %d (one per workload)", got, want)
+	}
+	if got, want := stats.PDGBuilds, int64(len(ws)); got != want {
+		t.Errorf("PDG builds = %d, want exactly %d (one per workload)", got, want)
+	}
+}
+
+// TestEnginePipelineSharedAcrossExperiments checks the pipeline cache: the
+// comm and speedup experiments must reuse the same *Pipeline value for a
+// given (workload, partitioner) pair.
+func TestEnginePipelineSharedAcrossExperiments(t *testing.T) {
+	ws := subset(t, "ks")
+	ctx := context.Background()
+	e := NewEngine(EngineOptions{Jobs: 2})
+	p1, err := e.Pipeline(ctx, ws[0], Partitioners()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CommExperiment(ctx, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SpeedupExperiment(ctx, sim.DefaultConfig(), ws); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Pipeline(ctx, ws[0], Partitioners()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("pipeline rebuilt despite cache")
+	}
+}
+
+// TestEngineCancellation checks that a context cancelled mid-matrix makes
+// the engine return promptly with a wrapped cancellation error.
+func TestEngineCancellation(t *testing.T) {
+	ws := workloads.All()
+
+	// Pre-cancelled: deterministic, must fail immediately.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	e := NewEngine(EngineOptions{Jobs: 2})
+	if _, err := e.CommExperiment(pre, ws); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-matrix: must return well before a full serial run
+	// would. If the matrix happens to finish before the cancel lands the
+	// run legitimately succeeds, so only a slow return is a failure.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewEngine(EngineOptions{Jobs: 2}).CommExperiment(ctx, ws)
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-matrix: err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled run took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEngineBudgetEnforced checks that the configurable budget reaches the
+// interpreter: an absurdly small profiling budget must abort with
+// ErrStepLimit.
+func TestEngineBudgetEnforced(t *testing.T) {
+	ws := subset(t, "ks")
+	e := NewEngine(EngineOptions{Jobs: 1, Budget: budget.Budget{ProfileSteps: 10}})
+	_, err := e.CommExperiment(context.Background(), ws)
+	if !errors.Is(err, interp.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit from the 10-step profile budget", err)
+	}
+}
+
+// TestDinicDefaultEquivalentOnWorkloads asserts the promoted default: on
+// the full workload suite under both partitioners, Dinic and Edmonds–Karp
+// max-flow produce identical communication placements (identical generated
+// threads) and therefore identical cut values and dynamic statistics.
+func TestDinicDefaultEquivalentOnWorkloads(t *testing.T) {
+	ws := workloads.All()
+	if testing.Short() {
+		ws = subset(t, "ks", "177.mesa", "181.mcf")
+	}
+	if !coco.DefaultOptions().Dinic {
+		t.Fatal("DefaultOptions no longer selects Dinic")
+	}
+	ekOpts := coco.DefaultOptions()
+	ekOpts.EdmondsKarp = true
+	for _, w := range ws {
+		for _, part := range Partitioners() {
+			dn, err := Build(w, part, coco.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s/%s Dinic: %v", w.Name, part.Name(), err)
+			}
+			ek, err := Build(w, part, ekOpts)
+			if err != nil {
+				t.Fatalf("%s/%s EK: %v", w.Name, part.Name(), err)
+			}
+			if dn.Coco.NumQueues != ek.Coco.NumQueues {
+				t.Errorf("%s/%s: queues Dinic %d, EK %d", w.Name, part.Name(),
+					dn.Coco.NumQueues, ek.Coco.NumQueues)
+			}
+			for i := range dn.Coco.Threads {
+				if got, want := dn.Coco.Threads[i].String(), ek.Coco.Threads[i].String(); got != want {
+					t.Errorf("%s/%s: thread %d differs between Dinic and EK:\n--- Dinic ---\n%s\n--- EK ---\n%s",
+						w.Name, part.Name(), i, got, want)
+				}
+			}
+		}
+	}
+}

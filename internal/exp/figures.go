@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 
-	"repro/internal/coco"
 	"repro/internal/interp"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -51,30 +51,10 @@ func (r CommRow) MemSyncRemovedPct() float64 {
 }
 
 // CommExperiment produces the data behind Figures 1 and 7 for all
-// workloads under both partitioners.
+// workloads under both partitioners. It is the serial convenience wrapper
+// around Engine.CommExperiment (one worker, fresh caches).
 func CommExperiment(ws []*workloads.Workload) ([]CommRow, error) {
-	var rows []CommRow
-	for _, part := range Partitioners() {
-		for _, w := range ws {
-			p, err := Build(w, part, coco.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			naive, err := p.MeasureComm(p.Naive)
-			if err != nil {
-				return nil, err
-			}
-			opt, err := p.MeasureComm(p.Coco)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, CommRow{
-				Workload: w.Name, Partitioner: part.Name(),
-				Naive: naive, Coco: opt,
-			})
-		}
-	}
-	return rows, nil
+	return NewEngine(EngineOptions{Jobs: 1}).CommExperiment(context.Background(), ws)
 }
 
 // SpeedupRow is one group of Figure 8: cycle counts for a workload.
@@ -96,40 +76,11 @@ func (r SpeedupRow) CocoSpeedup() float64 {
 	return float64(r.STCycles) / float64(r.CocoCycles)
 }
 
-// SpeedupExperiment produces Figure 8's data on the given machine.
+// SpeedupExperiment produces Figure 8's data on the given machine. It is
+// the serial convenience wrapper around Engine.SpeedupExperiment (one
+// worker, fresh caches).
 func SpeedupExperiment(cfg sim.Config, ws []*workloads.Workload) ([]SpeedupRow, error) {
-	stCache := map[string]int64{}
-	var rows []SpeedupRow
-	for _, part := range Partitioners() {
-		for _, w := range ws {
-			st, ok := stCache[w.Name]
-			if !ok {
-				var err error
-				st, err = SingleThreadedCycles(cfg, w)
-				if err != nil {
-					return nil, err
-				}
-				stCache[w.Name] = st
-			}
-			p, err := Build(w, part, coco.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			naive, err := p.MeasureCycles(cfg, p.Naive)
-			if err != nil {
-				return nil, err
-			}
-			opt, err := p.MeasureCycles(cfg, p.Coco)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SpeedupRow{
-				Workload: w.Name, Partitioner: part.Name(),
-				STCycles: st, NaiveCycles: naive, CocoCycles: opt,
-			})
-		}
-	}
-	return rows, nil
+	return NewEngine(EngineOptions{Jobs: 1}).SpeedupExperiment(context.Background(), cfg, ws)
 }
 
 // GeoMean returns the geometric mean of a positive series.

@@ -4,11 +4,19 @@
 // (Fig. 1), the communication reduction from COCO (Fig. 7), and the
 // speedups over single-threaded execution (Fig. 8) — using the paper's
 // methodology: profile on the train input, measure on the reference input.
+//
+// Two entry points exist: the serial convenience functions
+// (CommExperiment, SpeedupExperiment, Build) and the concurrent,
+// cache-aware Engine, which fans the workload × partitioner matrix out
+// over a worker pool and memoizes per-workload analysis artifacts so the
+// train-input profile and the PDG are computed exactly once per workload.
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -20,10 +28,28 @@ import (
 	"repro/internal/workloads"
 )
 
-const (
-	stepBudget  = 200_000_000
-	cycleBudget = 500_000_000
-)
+// Artifact holds the per-workload analysis results every pipeline needs:
+// the train-input edge profile and the PDG. Both are read-only after
+// construction — the interpreter, partitioners, COCO and MTCG only consult
+// them — so one Artifact is safely shared by concurrent pipeline builds.
+type Artifact struct {
+	Profile *ir.Profile
+	Graph   *pdg.Graph
+}
+
+// BuildArtifact profiles w on its train input and builds its PDG.
+func BuildArtifact(ctx context.Context, w *workloads.Workload, b budget.Budget) (*Artifact, error) {
+	b = b.OrElse(budget.Experiments())
+	train := w.Train()
+	prof, err := interp.RunCtx(ctx, w.F, train.Args, train.Mem, b.ProfileSteps)
+	if err != nil {
+		return nil, fmt.Errorf("exp: profiling %s: %w", w.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", w.Name, err)
+	}
+	return &Artifact{Profile: prof.Profile, Graph: pdg.Build(w.F, w.Objects)}, nil
+}
 
 // Pipeline holds everything produced for one (workload, partitioner) pair:
 // the partition, the naive-MTCG program, and the COCO-optimized program.
@@ -36,21 +62,35 @@ type Pipeline struct {
 	Profile *ir.Profile
 	Naive   *mtcg.Program
 	Coco    *mtcg.Program
+
+	budget budget.Budget
 }
 
 // Build runs the full compilation pipeline for a workload and partitioner:
 // train-input profiling, PDG construction, partitioning, naive MTCG, COCO,
 // and queue allocation on both programs.
 func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options) (*Pipeline, error) {
-	train := w.Train()
-	prof, err := interp.Run(w.F, train.Args, train.Mem, stepBudget)
+	ctx := context.Background()
+	art, err := BuildArtifact(ctx, w, budget.Experiments())
 	if err != nil {
-		return nil, fmt.Errorf("exp: profiling %s: %w", w.Name, err)
+		return nil, err
 	}
-	g := pdg.Build(w.F, w.Objects)
-	assign, err := part.Partition(w.F, g, prof.Profile, 2)
+	return BuildFromArtifact(ctx, w, part, opts, art, budget.Experiments())
+}
+
+// BuildFromArtifact runs the partitioner-dependent tail of the pipeline —
+// partitioning, naive MTCG, COCO, and queue allocation — over a
+// precomputed (and possibly shared) artifact. It never mutates art.
+func BuildFromArtifact(ctx context.Context, w *workloads.Workload, part partition.Partitioner,
+	opts coco.Options, art *Artifact, b budget.Budget) (*Pipeline, error) {
+
+	g, prof := art.Graph, art.Profile
+	assign, err := part.Partition(w.F, g, prof, 2)
 	if err != nil {
 		return nil, fmt.Errorf("exp: partitioning %s with %s: %w", w.Name, part.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", w.Name, part.Name(), err)
 	}
 
 	naive, err := mtcg.Generate(mtcg.NaivePlan(w.F, g, assign, 2))
@@ -59,7 +99,7 @@ func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options)
 	}
 	queue.Allocate(naive)
 
-	plan, err := coco.Plan(w.F, g, assign, 2, prof.Profile, opts)
+	plan, err := coco.Plan(w.F, g, assign, 2, prof, opts)
 	if err != nil {
 		return nil, fmt.Errorf("exp: COCO for %s/%s: %w", w.Name, part.Name(), err)
 	}
@@ -71,13 +111,18 @@ func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options)
 
 	return &Pipeline{
 		W: w, Part: part, Assign: assign, Graph: g,
-		Profile: prof.Profile, Naive: naive, Coco: opt,
+		Profile: prof, Naive: naive, Coco: opt,
+		budget: b.OrElse(budget.Experiments()),
 	}, nil
 }
 
 // MeasureComm executes a generated program on the reference input with the
 // counting interpreter and returns its dynamic instruction statistics.
 func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
+	return p.measureComm(context.Background(), prog)
+}
+
+func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.CommStats, error) {
 	in := p.W.Ref()
 	mt, err := interp.RunMT(interp.MTConfig{
 		Threads:   prog.Threads,
@@ -85,7 +130,8 @@ func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
 		Assign:    p.Assign,
 		Args:      in.Args,
 		Mem:       in.Mem,
-		MaxSteps:  stepBudget,
+		MaxSteps:  p.measureBudget().MeasureSteps,
+		Ctx:       ctx,
 	})
 	if err != nil {
 		return interp.CommStats{}, fmt.Errorf("exp: measuring %s/%s: %w", p.W.Name, p.Part.Name(), err)
@@ -97,17 +143,27 @@ func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
 // returns the cycle count.
 func (p *Pipeline) MeasureCycles(cfg sim.Config, prog *mtcg.Program) (int64, error) {
 	in := p.W.Ref()
-	res, err := sim.Run(cfg, prog.Threads, in.Args, in.Mem, cycleBudget)
+	res, err := sim.Run(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles)
 	if err != nil {
 		return 0, fmt.Errorf("exp: simulating %s/%s: %w", p.W.Name, p.Part.Name(), err)
 	}
 	return res.Cycles, nil
 }
 
+// measureBudget returns the pipeline's budget, defaulting for pipelines
+// constructed by hand (a zero Pipeline literal in tests).
+func (p *Pipeline) measureBudget() budget.Budget {
+	return p.budget.OrElse(budget.Experiments())
+}
+
 // SingleThreadedCycles simulates the original function on one core.
 func SingleThreadedCycles(cfg sim.Config, w *workloads.Workload) (int64, error) {
+	return singleThreadedCycles(cfg, w, budget.Experiments())
+}
+
+func singleThreadedCycles(cfg sim.Config, w *workloads.Workload, b budget.Budget) (int64, error) {
 	in := w.Ref()
-	res, err := sim.RunSingle(cfg, w.F, in.Args, in.Mem, cycleBudget)
+	res, err := sim.RunSingle(cfg, w.F, in.Args, in.Mem, b.OrElse(budget.Experiments()).SimCycles)
 	if err != nil {
 		return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
 	}

@@ -8,6 +8,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,10 @@ import (
 // ErrStepLimit is returned when execution exceeds the step budget,
 // indicating a runaway loop (or a lost wake-up in multi-threaded code).
 var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// checkEvery is the number of dynamic instructions executed between
+// cancellation checks; a power of two so the check compiles to a mask.
+const checkEvery = 1 << 16
 
 // Memory is the flat word-addressed program memory shared by all threads.
 type Memory []int64
@@ -41,6 +46,14 @@ type Result struct {
 // image (mutated in place). It fails with ErrStepLimit after maxSteps
 // instructions.
 func Run(f *ir.Function, args []int64, mem Memory, maxSteps int64) (*Result, error) {
+	return RunCtx(context.Background(), f, args, mem, maxSteps)
+}
+
+// RunCtx is Run with cooperative cancellation: every checkEvery dynamic
+// instructions it polls ctx and aborts with ctx's error if the context is
+// done, so a cancelled experiment matrix returns promptly even while a
+// 200M-step profiling pass is in flight.
+func RunCtx(ctx context.Context, f *ir.Function, args []int64, mem Memory, maxSteps int64) (*Result, error) {
 	if len(args) != len(f.Params) {
 		return nil, fmt.Errorf("interp: %s takes %d params, got %d", f.Name, len(f.Params), len(args))
 	}
@@ -54,6 +67,11 @@ func Run(f *ir.Function, args []int64, mem Memory, maxSteps int64) (*Result, err
 	for {
 		if res.Steps >= maxSteps {
 			return nil, fmt.Errorf("%w (%s after %d steps)", ErrStepLimit, f.Name, res.Steps)
+		}
+		if res.Steps&(checkEvery-1) == checkEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("interp: %s after %d steps: %w", f.Name, res.Steps, err)
+			}
 		}
 		in := blk.Instrs[idx]
 		res.Steps++

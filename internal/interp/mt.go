@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,6 +63,9 @@ type MTConfig struct {
 	Mem    Memory
 	// MaxSteps bounds total dynamic instructions across threads.
 	MaxSteps int64
+	// Ctx, when non-nil, is polled every checkEvery steps; a done context
+	// aborts the run with its error. Nil means run to completion.
+	Ctx context.Context
 }
 
 // MTResult is the outcome of a multi-threaded run.
@@ -127,6 +131,11 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 				steps++
 				if steps > cfg.MaxSteps {
 					return nil, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
+				}
+				if steps&(checkEvery-1) == 0 && cfg.Ctx != nil {
+					if err := cfg.Ctx.Err(); err != nil {
+						return nil, fmt.Errorf("interp: multi-threaded run after %d steps: %w", steps, err)
+					}
 				}
 			}
 		}

@@ -1,0 +1,101 @@
+package mincut_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mincut"
+)
+
+// randomNetwork builds a pseudo-random layered flow network resembling the
+// CFG-shaped graphs COCO produces: a source layer, several middle layers
+// with forward and skip arcs, and a sink. The same seed yields the same
+// network, so two independent copies can be max-flowed with different
+// algorithms.
+func randomNetwork(seed int64) (g *mincut.Graph, s, t int) {
+	rng := rand.New(rand.NewSource(seed))
+	layers := 3 + rng.Intn(4)
+	width := 2 + rng.Intn(4)
+	n := layers*width + 2
+	g = mincut.New(n)
+	s, t = n-2, n-1
+	node := func(l, i int) int { return l*width + i }
+	for i := 0; i < width; i++ {
+		g.AddArc(s, node(0, i), int64(1+rng.Intn(50)))
+		g.AddArc(node(layers-1, i), t, int64(1+rng.Intn(50)))
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				if rng.Intn(3) == 0 {
+					continue // sparsify
+				}
+				g.AddArc(node(l, i), node(l+1, j), int64(1+rng.Intn(50)))
+			}
+			// Occasional skip arc and back arc, as control-flow joins
+			// and loop shapes produce.
+			if l+2 < layers && rng.Intn(4) == 0 {
+				g.AddArc(node(l, i), node(l+2, rng.Intn(width)), int64(1+rng.Intn(50)))
+			}
+			if l > 0 && rng.Intn(6) == 0 {
+				g.AddArc(node(l, i), node(l-1, rng.Intn(width)), int64(1+rng.Intn(50)))
+			}
+		}
+	}
+	return g, s, t
+}
+
+// TestDinicEquivalentToEdmondsKarp checks, over many random networks, that
+// the two max-flow engines agree on the flow value and on both canonical
+// minimum cuts. The source-side (sink-side) cut is the unique minimal
+// (maximal) minimum cut, determined by the network alone and not by which
+// maximum flow the algorithm found — the property that lets Dinic replace
+// Edmonds–Karp as the default without changing any COCO placement.
+func TestDinicEquivalentToEdmondsKarp(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		ek, s, tt := randomNetwork(seed)
+		dn, _, _ := randomNetwork(seed)
+
+		fEK := ek.MaxFlow(s, tt)
+		fDN := dn.MaxFlowDinic(s, tt)
+		if fEK != fDN {
+			t.Fatalf("seed %d: flow EK %d, Dinic %d", seed, fEK, fDN)
+		}
+
+		srcEK, srcDN := ek.MinCutSourceSide(s), dn.MinCutSourceSide(s)
+		if !sameArcs(srcEK, srcDN) {
+			t.Fatalf("seed %d: source-side cut differs: EK %v, Dinic %v", seed, srcEK, srcDN)
+		}
+		snkEK, snkDN := ek.MinCutSinkSide(tt), dn.MinCutSinkSide(tt)
+		if !sameArcs(snkEK, snkDN) {
+			t.Fatalf("seed %d: sink-side cut differs: EK %v, Dinic %v", seed, snkEK, snkDN)
+		}
+
+		if c := ek.CutCost(srcEK); c != fEK {
+			t.Fatalf("seed %d: source cut cost %d != flow %d", seed, c, fEK)
+		}
+		if c := dn.CutCost(snkDN); c != fDN {
+			t.Fatalf("seed %d: sink cut cost %d != flow %d", seed, c, fDN)
+		}
+	}
+}
+
+func sameArcs(a, b []mincut.ArcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[mincut.ArcID]bool{}
+	for _, id := range a {
+		seen[id] = true
+	}
+	for _, id := range b {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+// Package par provides the bounded worker pool behind the framework's
+// parallel fan-outs: the experiment engine's workload × partitioner matrix
+// and gmt.ParallelizeAll. Determinism is the caller's job — work items are
+// identified by dense indices so results can be written to preallocated
+// slots, making parallel output identical to serial output.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run invokes fn(i) for every i in [0, n), using up to jobs concurrent
+// workers (jobs <= 0 means runtime.GOMAXPROCS(0); jobs == 1 runs serially
+// on the calling goroutine). It stops dispatching new work on the first
+// error or when ctx is cancelled, waits for in-flight work to finish, and
+// returns the first error observed. fn must write its result to an
+// index-addressed slot; Run itself imposes no ordering on execution.
+func Run(ctx context.Context, jobs, n int, fn func(i int) error) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// One cancellation scope for the pool: the first failure stops the
+	// feeder, so queued-but-undispatched work is never started.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	work := make(chan int)
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := pctx.Err(); err != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-pctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,109 @@
+package par_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 100} {
+		var hits [57]atomic.Int32
+		err := par.Run(context.Background(), jobs, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, n)
+			}
+		}
+	}
+}
+
+func TestRunSerialPreservesOrder(t *testing.T) {
+	var order []int
+	err := par.Run(context.Background(), 1, 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunFirstErrorStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := par.Run(context.Background(), 2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not stop dispatch: all 1000 items ran")
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	for _, jobs := range []int{1, 4} {
+		err := par.Run(ctx, jobs, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+	}
+	// Workers may each have picked up at most one item before noticing.
+	if n := ran.Load(); n > 8 {
+		t.Errorf("%d items ran after cancellation", n)
+	}
+}
+
+func TestRunCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := par.Run(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := par.Run(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package workloads_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/coco"
@@ -144,5 +146,40 @@ func TestFullPipelineEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWorkloadSharedReadSafety exercises the concurrency contract the
+// experiment engine depends on: one *Workload — its IR function, objects,
+// and input constructors — is shared by many goroutines that
+// simultaneously profile it, build its PDG, and interpret it. The IR is
+// immutable after construction and Train/Ref return fresh copies, so this
+// must be race-free (CI runs this package under -race).
+func TestWorkloadSharedReadSafety(t *testing.T) {
+	w, err := workloads.ByName("ks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := w.Train()
+			if _, err := interp.Run(w.F, in.Args, in.Mem, stepBudget); err != nil {
+				errs <- err
+				return
+			}
+			g := pdg.Build(w.F, w.Objects)
+			if g.NumArcs() == 0 {
+				errs <- fmt.Errorf("empty PDG")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
