@@ -1,0 +1,119 @@
+// Command gmtcheck runs the differential-execution oracle: it executes
+// programs through the single-threaded interpreter, the multi-threaded
+// interpreter under a matrix of scheduling policies and queue depths, and
+// the cycle-level simulator, and reports any divergence, deadlock, or
+// invariant violation.
+//
+// Usage:
+//
+//	gmtcheck -n 200 -seed 1           sweep 200 random programs
+//	gmtcheck -seed 557 -n 1 -shrink   recheck one seed; minimize failures
+//	gmtcheck -schedule adversarial    restrict the scheduling policy
+//	gmtcheck -workload ks             check one benchmark workload
+//	gmtcheck -workload all            check every benchmark workload
+//
+// On failure it prints a reproducer in the corpus format (see
+// internal/oracle/testdata/corpus) and exits nonzero; with -shrink the
+// reproducer is first minimized.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/oracle"
+	"repro/internal/workloads"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "first program-generator seed")
+	n := flag.Int("n", 100, "number of random programs to check")
+	schedule := flag.String("schedule", "", "restrict to one scheduling policy (round-robin, random, adversarial); empty means the full matrix")
+	shrink := flag.Bool("shrink", false, "minimize the first failing program before printing it")
+	workload := flag.String("workload", "", "check a benchmark workload instead of random programs (a name, or 'all')")
+	nosim := flag.Bool("nosim", false, "skip the cycle-level simulator cross-check")
+	flag.Parse()
+
+	opts := oracle.Options{Seed: *seed, SkipSim: *nosim}
+	if *schedule != "" {
+		opts.Schedules = []oracle.SchedSpec{{Name: *schedule, Seed: *seed}}
+	}
+
+	if *workload != "" {
+		os.Exit(checkWorkloads(*workload, *seed))
+	}
+
+	fail := 0
+	var runs, programs int
+	for i := 0; i < *n; i++ {
+		s := *seed + int64(i)
+		c := oracle.Generate(s)
+		rep, err := oracle.Check(c, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
+			os.Exit(2)
+		}
+		runs += rep.Runs
+		programs += rep.Programs
+		if rep.Ok() {
+			continue
+		}
+		fail++
+		fmt.Printf("FAIL %s\n%v\n", c.Name, rep.Err())
+		if *shrink {
+			kind := rep.Failures[0].Kind
+			fmt.Printf("shrinking against %q...\n", kind)
+			c = oracle.Shrink(c, oracle.StillFails(opts, kind), 0)
+			c.Name = fmt.Sprintf("seed=%d (shrunk)", s)
+		}
+		fmt.Printf("reproducer:\n%s", oracle.FormatCase(c))
+		if *shrink {
+			break // one minimized reproducer per invocation
+		}
+	}
+	fmt.Printf("checked %d programs (%d compiled configurations, %d executor runs): %d failing\n",
+		*n, programs, runs, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkWorkloads runs the oracle experiment over one or all benchmark
+// workloads and prints a row per matrix cell.
+func checkWorkloads(name string, seed int64) int {
+	ws := workloads.All()
+	if name != "all" {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
+			return 2
+		}
+		ws = []*workloads.Workload{w}
+	}
+	engine := exp.NewEngine(exp.EngineOptions{})
+	rows, err := engine.OracleExperiment(context.Background(), ws, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
+		return 2
+	}
+	fail := 0
+	for _, r := range rows {
+		status := "ok"
+		if len(r.Failures) > 0 {
+			status = "FAIL"
+			fail++
+		}
+		fmt.Printf("%-10s %-8s %4d runs over %d programs  %s\n",
+			r.Workload, r.Partitioner, r.Runs, r.Programs, status)
+		for _, f := range r.Failures {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	if fail > 0 {
+		return 1
+	}
+	return 0
+}

@@ -52,7 +52,8 @@ func main() {
 
 	fmt.Printf("workload:    %s (%s, %s, %d%% of execution)\n", w.Name, w.Function, w.Suite, w.ExecPct)
 	fmt.Printf("partitioner: %s, COCO=%v\n", p.Name(), !*noCoco)
-	fmt.Printf("queues:      %d (from %d per-dependence queues)\n", alloc.After, alloc.Before)
+	fmt.Printf("queues:      %d (from %d per-dependence queues), %d entries deep\n",
+		alloc.After, alloc.Before, pipe.QueueCap)
 
 	// Correctness: the multi-threaded reference run must match the
 	// single-threaded one.
@@ -60,8 +61,9 @@ func main() {
 	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), budget.Default().ProfileSteps)
 	die(err)
 	mt, err := interp.RunMT(interp.MTConfig{
-		Threads: prog.Threads, NumQueues: prog.NumQueues, Assign: pipe.Assign,
-		Args: ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: budget.Default().MeasureSteps,
+		Threads: prog.Threads, NumQueues: prog.NumQueues, QueueCap: pipe.QueueCap,
+		Assign: pipe.Assign,
+		Args:   ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: budget.Default().MeasureSteps,
 	})
 	die(err)
 	for i := range st.LiveOuts {
@@ -80,7 +82,7 @@ func main() {
 		cfg := sim.DefaultConfig()
 		stc, err := exp.SingleThreadedCycles(cfg, w)
 		die(err)
-		mtc, err := pipe.MeasureCycles(cfg, prog)
+		mtc, err := pipe.MeasureCycles(pipe.Machine(cfg), prog)
 		die(err)
 		fmt.Printf("cycles:      single-threaded=%d multi-threaded=%d speedup=%.2fx\n",
 			stc, mtc, float64(stc)/float64(mtc))

@@ -139,6 +139,12 @@ type Result struct {
 	Assign map[*Instr]int
 	// Profile is the collected training profile.
 	Profile *Profile
+	// QueueCap is the synchronization-array queue depth the region is
+	// executed with: the partitioner's preference (32 entries for DSWP,
+	// single-entry queues otherwise, as in the paper's evaluation).
+	// Execute uses it directly; pass it into MachineConfig.QueueCap to
+	// simulate the same depth.
+	QueueCap int
 
 	orig    *ir.Function
 	objects []ir.MemObject
@@ -217,6 +223,7 @@ func Parallelize(f *Function, objects []MemObject, cfg Config) (*Result, error) 
 		NumQueues: prog.NumQueues,
 		Assign:    assign,
 		Profile:   edgeProf,
+		QueueCap:  partition.QueueCapFor(part),
 		orig:      f,
 		objects:   objects,
 		program:   prog,
@@ -269,6 +276,7 @@ func Execute(r *Result, args []int64, mem Memory) (*ExecResult, error) {
 	mt, err := interp.RunMT(interp.MTConfig{
 		Threads:   r.Threads,
 		NumQueues: r.NumQueues,
+		QueueCap:  r.QueueCap,
 		Assign:    r.Assign,
 		Args:      args,
 		Mem:       mem,

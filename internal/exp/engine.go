@@ -235,11 +235,12 @@ func (e *Engine) SpeedupExperiment(ctx context.Context, cfg sim.Config, ws []*wo
 		if err != nil {
 			return err
 		}
-		naive, err := p.MeasureCycles(cfg, p.Naive)
+		mtCfg := p.Machine(cfg)
+		naive, err := p.MeasureCycles(mtCfg, p.Naive)
 		if err != nil {
 			return err
 		}
-		opt, err := p.MeasureCycles(cfg, p.Coco)
+		opt, err := p.MeasureCycles(mtCfg, p.Coco)
 		if err != nil {
 			return err
 		}

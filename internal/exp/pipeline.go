@@ -62,6 +62,10 @@ type Pipeline struct {
 	Profile *ir.Profile
 	Naive   *mtcg.Program
 	Coco    *mtcg.Program
+	// QueueCap is the synchronization-array queue depth the programs are
+	// executed and simulated with: the paper's 32 entries for DSWP and
+	// single-entry queues otherwise (partition.QueueCapFor).
+	QueueCap int
 
 	budget budget.Budget
 }
@@ -112,7 +116,8 @@ func BuildFromArtifact(ctx context.Context, w *workloads.Workload, part partitio
 	return &Pipeline{
 		W: w, Part: part, Assign: assign, Graph: g,
 		Profile: prof, Naive: naive, Coco: opt,
-		budget: b.OrElse(budget.Experiments()),
+		QueueCap: partition.QueueCapFor(part),
+		budget:   b.OrElse(budget.Experiments()),
 	}, nil
 }
 
@@ -127,6 +132,7 @@ func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.
 	mt, err := interp.RunMT(interp.MTConfig{
 		Threads:   prog.Threads,
 		NumQueues: prog.NumQueues,
+		QueueCap:  p.QueueCap,
 		Assign:    p.Assign,
 		Args:      in.Args,
 		Mem:       in.Mem,
@@ -139,8 +145,21 @@ func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.
 	return mt.Stats, nil
 }
 
+// Machine returns cfg adjusted to the pipeline's partitioner: the
+// synchronization-array queue depth becomes the partitioner's (32 entries
+// for DSWP, single-entry otherwise). The experiment harness simulates
+// multi-threaded programs on this machine; pass cfg directly to
+// MeasureCycles to sweep machine parameters instead.
+func (p *Pipeline) Machine(cfg sim.Config) sim.Config {
+	if p.QueueCap > 0 {
+		cfg.QueueCap = p.QueueCap
+	}
+	return cfg
+}
+
 // MeasureCycles simulates a generated program on the reference input and
-// returns the cycle count.
+// returns the cycle count. The machine is taken as given; callers modeling
+// the paper's per-partitioner queue depths wrap cfg with Machine first.
 func (p *Pipeline) MeasureCycles(cfg sim.Config, prog *mtcg.Program) (int64, error) {
 	in := p.W.Ref()
 	res, err := sim.Run(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles)

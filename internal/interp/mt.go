@@ -13,6 +13,16 @@ import (
 // for a well-formed plan, so hitting it indicates a placement bug.
 var ErrDeadlock = errors.New("interp: deadlock: all threads blocked")
 
+// ErrBadSchedule is returned when a Scheduler picks a thread that is not
+// runnable — a policy bug, not a program bug.
+var ErrBadSchedule = errors.New("interp: scheduler picked a non-runnable thread")
+
+// DefaultQueueCap is the queue depth used when MTConfig.QueueCap is unset:
+// the 32-entry synchronization-array queues the paper evaluates DSWP with.
+// The paper's other partitioners use single-entry queues; the experiment
+// pipeline selects per-partitioner depths via partition.QueueCapFor.
+const DefaultQueueCap = 32
+
 // CommStats counts dynamic instructions by role. Compute covers the
 // original program's instructions (including control flow); the other
 // fields are multi-threading overhead.
@@ -49,19 +59,35 @@ func (s *CommStats) Add(o CommStats) {
 	s.DupBranch += o.DupBranch
 }
 
+// QueueStats counts the dynamic traffic through one synchronization-array
+// queue. At normal termination Produced == Consumed for every queue (every
+// value produced is consumed); the differential oracle asserts this.
+type QueueStats struct {
+	Produced int64
+	Consumed int64
+}
+
 // MTConfig describes a multi-threaded program to execute.
 type MTConfig struct {
 	Threads   []*ir.Function
 	NumQueues int
-	// QueueCap is the queue depth (the paper: 32-entry queues for DSWP,
-	// single-entry otherwise; we default to 32 for both).
+	// QueueCap is the queue depth. The paper models 32-entry queues for
+	// DSWP and single-entry queues for the other partitioners; <= 0
+	// defaults to DefaultQueueCap (32). Use partition.QueueCapFor to pick
+	// the paper's depth for a given partitioner.
 	QueueCap int
+	// Sched picks which runnable thread steps next; nil means the
+	// deterministic round-robin policy. Any correct MTCG program yields
+	// identical results under every policy.
+	Sched Scheduler
 	// Assign is the original partition; used to classify replicated
 	// branches (via Instr.Orig).
 	Assign map[*ir.Instr]int
 	Args   []int64
 	Mem    Memory
-	// MaxSteps bounds total dynamic instructions across threads.
+	// MaxSteps bounds total dynamic instructions across threads. Only
+	// issued instructions count: turns where a thread is blocked on a
+	// full or empty queue do not consume budget.
 	MaxSteps int64
 	// Ctx, when non-nil, is polled every checkEvery steps; a done context
 	// aborts the run with its error. Nil means run to completion.
@@ -78,6 +104,12 @@ type MTResult struct {
 	PerThread []CommStats
 	// Stats is the sum over threads.
 	Stats CommStats
+	// Steps is the number of instructions issued across all threads; it
+	// always equals Stats.Total().
+	Steps int64
+	// PerQueue counts the values produced into and consumed from each
+	// queue (synchronization tokens included).
+	PerQueue []QueueStats
 }
 
 // threadState is one thread's execution context.
@@ -90,13 +122,19 @@ type threadState struct {
 	outs []int64 // live-outs captured at this thread's Ret
 }
 
-// RunMT executes a multi-threaded program deterministically: threads take
-// turns executing one instruction each, skipping their turn while blocked
-// on a full or empty queue. It returns ErrDeadlock if no thread can make
-// progress and ErrStepLimit if cfg.MaxSteps is exhausted.
+// RunMT executes a multi-threaded program over blocking synchronization-
+// array queues. Thread interleaving is chosen by cfg.Sched (round-robin by
+// default, so runs are reproducible); a thread that cannot step because its
+// queue is full or empty is set aside until another thread makes progress.
+// It returns ErrDeadlock if no thread can make progress and ErrStepLimit if
+// cfg.MaxSteps issued instructions are exhausted.
 func RunMT(cfg MTConfig) (*MTResult, error) {
 	if cfg.QueueCap <= 0 {
-		cfg.QueueCap = 32
+		cfg.QueueCap = DefaultQueueCap
+	}
+	sched := cfg.Sched
+	if sched == nil {
+		sched = RoundRobin()
 	}
 	queues := make([][]int64, cfg.NumQueues)
 	threads := make([]*threadState, len(cfg.Threads))
@@ -112,41 +150,68 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		threads[i] = ts
 	}
 
-	res := &MTResult{Mem: cfg.Mem, PerThread: make([]CommStats, len(threads))}
+	res := &MTResult{
+		Mem:       cfg.Mem,
+		PerThread: make([]CommStats, len(threads)),
+		PerQueue:  make([]QueueStats, cfg.NumQueues),
+	}
+	// blocked[t] is set when t failed to step and cleared whenever any
+	// thread issues an instruction (which is the only event that can
+	// unblock a queue operation).
+	blocked := make([]bool, len(threads))
+	lastRan := make([]int64, len(threads))
+	for i := range lastRan {
+		lastRan[i] = -1
+	}
+	runnable := make([]int, 0, len(threads))
 	var steps int64
 	for {
-		progress := false
+		runnable = runnable[:0]
 		alldone := true
 		for ti, ts := range threads {
 			if ts.done {
 				continue
 			}
 			alldone = false
-			stepped, err := stepThread(ts, ti, queues, cfg, &res.PerThread[ti])
-			if err != nil {
-				return nil, err
-			}
-			if stepped {
-				progress = true
-				steps++
-				if steps > cfg.MaxSteps {
-					return nil, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
-				}
-				if steps&(checkEvery-1) == 0 && cfg.Ctx != nil {
-					if err := cfg.Ctx.Err(); err != nil {
-						return nil, fmt.Errorf("interp: multi-threaded run after %d steps: %w", steps, err)
-					}
-				}
+			if !blocked[ti] {
+				runnable = append(runnable, ti)
 			}
 		}
 		if alldone {
 			break
 		}
-		if !progress {
-			return nil, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, queues))
+		if len(runnable) == 0 {
+			return nil, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, queues, cfg.QueueCap))
+		}
+		ti := sched.Pick(runnable, lastRan, steps)
+		if ti < 0 || ti >= len(threads) || threads[ti].done || blocked[ti] {
+			return nil, fmt.Errorf("%w: %s picked thread %d (runnable %v)",
+				ErrBadSchedule, sched.Name(), ti, runnable)
+		}
+		stepped, err := stepThread(threads[ti], ti, queues, cfg, &res.PerThread[ti], res.PerQueue)
+		if err != nil {
+			return nil, err
+		}
+		if !stepped {
+			blocked[ti] = true
+			continue
+		}
+		for i := range blocked {
+			blocked[i] = false
+		}
+		lastRan[ti] = steps
+		steps++
+		if steps > cfg.MaxSteps {
+			return nil, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
+		}
+		if steps&(checkEvery-1) == 0 && cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("interp: multi-threaded run after %d steps: %w", steps, err)
+			}
 		}
 	}
 
+	res.Steps = steps
 	for ti, ts := range threads {
 		if ts.outs != nil {
 			res.LiveOuts = ts.outs
@@ -158,7 +223,8 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 
 // stepThread executes at most one instruction of ts, returning whether it
 // made progress (false when blocked on a queue).
-func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig, stats *CommStats) (bool, error) {
+func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
+	stats *CommStats, perQueue []QueueStats) (bool, error) {
 	in := ts.blk.Instrs[ts.idx]
 	switch in.Op {
 	case ir.Produce, ir.ProduceSync:
@@ -173,6 +239,7 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig, stats *
 			stats.ProduceSync++
 		}
 		queues[in.Queue] = append(queues[in.Queue], v)
+		perQueue[in.Queue].Produced++
 		ts.idx++
 	case ir.Consume, ir.ConsumeSync:
 		if len(queues[in.Queue]) == 0 {
@@ -180,6 +247,7 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig, stats *
 		}
 		v := queues[in.Queue][0]
 		queues[in.Queue] = queues[in.Queue][1:]
+		perQueue[in.Queue].Consumed++
 		if in.Op == ir.Consume {
 			ts.regs[in.Dst] = v
 			stats.Consume++
@@ -220,8 +288,12 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig, stats *
 	return true, nil
 }
 
-// describeBlocked renders a diagnostic for deadlocks.
-func describeBlocked(threads []*threadState, queues [][]int64) string {
+// describeBlocked renders a deadlock diagnostic. The output is fully
+// deterministic — threads in index order, each with its block, position,
+// instruction, and the occupancy of the queue it is blocked on — so a
+// deadlock report can be pasted into a regression test or bug report
+// verbatim.
+func describeBlocked(threads []*threadState, queues [][]int64, qcap int) string {
 	s := ""
 	for ti, ts := range threads {
 		if ts.done {
@@ -229,12 +301,18 @@ func describeBlocked(threads []*threadState, queues [][]int64) string {
 			continue
 		}
 		in := ts.blk.Instrs[ts.idx]
-		qlen := -1
-		if in.Op.IsComm() {
-			qlen = len(queues[in.Queue])
+		if !in.Op.IsComm() {
+			s += fmt.Sprintf("thread %d: stopped at %s[%d]: %v\n", ti, ts.blk.Name, ts.idx, in)
+			continue
 		}
-		s += fmt.Sprintf("thread %d: blocked at %s[%d]: %v (queue len %d)\n",
-			ti, ts.blk.Name, ts.idx, in, qlen)
+		state := "empty"
+		if qlen := len(queues[in.Queue]); qlen >= qcap {
+			state = "full"
+		} else if qlen > 0 {
+			state = fmt.Sprintf("%d buffered", qlen)
+		}
+		s += fmt.Sprintf("thread %d: blocked at %s[%d]: %v (queue %d: %d/%d, %s)\n",
+			ti, ts.blk.Name, ts.idx, in, in.Queue, len(queues[in.Queue]), qcap, state)
 	}
 	return s
 }

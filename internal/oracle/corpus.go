@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// The corpus format is the IR's own textual form prefixed with directive
+// comments, so a reproducer file is simultaneously valid input to
+// ir.Parse (which strips ';' comments) and self-describing:
+//
+//	; oracle case: seed=42 (shrunk)
+//	; seed: 42
+//	; args: 3 -7
+//	; mem: 1 0 0 5
+//	; object: arr 0 16
+//	func rand(r1, r2)
+//	entry:
+//		...
+//
+// cmd/gmtcheck prints failing cases in this format; files checked into
+// testdata/corpus are re-run by the regression tests.
+
+// FormatCase renders a case as a reproducer file.
+func FormatCase(c *Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; oracle case: %s\n", c.Name)
+	if c.Seed != 0 {
+		fmt.Fprintf(&b, "; seed: %d\n", c.Seed)
+	}
+	fmt.Fprintf(&b, "; args:%s\n", formatInts(c.Args))
+	fmt.Fprintf(&b, "; mem:%s\n", formatInts(c.Mem))
+	for _, o := range c.Objects {
+		fmt.Fprintf(&b, "; object: %s %d %d\n", o.Name, o.Base, o.Size)
+	}
+	b.WriteString(c.F.String())
+	return b.String()
+}
+
+func formatInts(vs []int64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	return b.String()
+}
+
+// ParseCase parses a reproducer file back into a Case.
+func ParseCase(text string) (*Case, error) {
+	c := &Case{Name: "corpus"}
+	for num, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			continue
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, ";"))
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch strings.TrimSpace(key) {
+		case "oracle case":
+			c.Name = rest
+		case "seed":
+			c.Seed, err = strconv.ParseInt(rest, 10, 64)
+		case "args":
+			c.Args, err = parseInts(rest)
+		case "mem":
+			c.Mem, err = parseInts(rest)
+		case "object":
+			var o ir.MemObject
+			f := strings.Fields(rest)
+			if len(f) != 3 {
+				err = fmt.Errorf("want 'name base size', got %q", rest)
+				break
+			}
+			o.Name = f[0]
+			if o.Base, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+				break
+			}
+			if o.Size, err = strconv.ParseInt(f[2], 10, 64); err != nil {
+				break
+			}
+			c.Objects = append(c.Objects, o)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("oracle: corpus line %d: %v", num+1, err)
+		}
+	}
+	f, err := ir.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: corpus IR: %w", err)
+	}
+	c.F = f
+	if len(c.Args) != len(f.Params) {
+		return nil, fmt.Errorf("oracle: corpus: %d args for %d params", len(c.Args), len(f.Params))
+	}
+	// Size memory to cover every declared object even when the mem
+	// directive is short (trailing zeros may be omitted).
+	need := int64(len(c.Mem))
+	for _, o := range c.Objects {
+		if o.Base+o.Size > need {
+			need = o.Base + o.Size
+		}
+	}
+	for int64(len(c.Mem)) < need {
+		c.Mem = append(c.Mem, 0)
+	}
+	return c, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	fields := strings.Fields(s)
+	vs := make([]int64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
+}
+
+// LoadCorpus parses every .ir file in dir (sorted by name). Each case's
+// Name is its file name. A missing directory yields an empty corpus.
+func LoadCorpus(dir string) ([]*Case, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ir") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var cases []*Case
+	for _, name := range names {
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCase(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		c.Name = name
+		cases = append(cases, c)
+	}
+	return cases, nil
+}

@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// FuzzMTEquivalence is the native entry point to the differential
+// oracle: the fuzzer explores program-generator seeds, and every seed's
+// program must be clean across the full executor × partition × schedule
+// × queue-depth matrix. Run with
+//
+//	go test -fuzz=FuzzMTEquivalence -fuzztime=30s ./internal/oracle
+//
+// Failing seeds minimize automatically (the seed shrinks, then
+// cmd/gmtcheck -seed N -shrink minimizes the program itself).
+func FuzzMTEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1337, 99991, -3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(seed)
+		rep, err := Check(c, Options{Seed: seed})
+		if err != nil {
+			// The generated program is unusable under the oracle budget
+			// (not a correctness bug) — only acceptable for a step-limit
+			// blowup, which generated programs should not hit.
+			if errors.Is(err, interp.ErrStepLimit) {
+				t.Skipf("seed %d exceeds the oracle step budget: %v", seed, err)
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v\nreproducer:\n%s", seed, err, FormatCase(c))
+		}
+	})
+}

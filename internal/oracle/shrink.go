@@ -1,0 +1,280 @@
+package oracle
+
+import (
+	"repro/internal/ir"
+)
+
+// Property reports whether a candidate case still exhibits the behavior
+// being minimized (typically: "the oracle still reports this failure" —
+// see StillFails).
+type Property func(*Case) bool
+
+// DefaultShrinkChecks bounds how many candidate evaluations Shrink may
+// spend; each evaluation runs the property, which for StillFails is a
+// full oracle pass.
+const DefaultShrinkChecks = 2000
+
+// Shrink greedily minimizes a failing case while preserving the
+// property. Each round it tries, in order of aggressiveness, to collapse
+// a conditional branch to one side (deleting the subgraph that becomes
+// unreachable), delete a single instruction, drop a live-out, simplify
+// an immediate, and zero inputs; the first accepted candidate restarts
+// the round. It returns the smallest case found (possibly c itself).
+// maxChecks <= 0 means DefaultShrinkChecks.
+//
+// Candidates are built on structural clones (print→parse round trips), so
+// the input case is never mutated and the result shares no state with it.
+func Shrink(c *Case, still Property, maxChecks int) *Case {
+	if maxChecks <= 0 {
+		maxChecks = DefaultShrinkChecks
+	}
+	cur := c
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if maxChecks <= 0 {
+				return cur
+			}
+			maxChecks--
+			if still(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// StillFails returns the property "Check with these options still
+// reports a failure of kind k" (any kind when k is empty). Candidates
+// whose golden run fails (e.g. a shrink broke termination) do not
+// qualify.
+func StillFails(opts Options, k Kind) Property {
+	return func(c *Case) bool {
+		rep, err := Check(c, opts)
+		if err != nil {
+			return false
+		}
+		if k == "" {
+			return !rep.Ok()
+		}
+		return rep.Has(k)
+	}
+}
+
+// candidates enumerates one-mutation reductions of c, most aggressive
+// first. Every returned case verifies.
+func candidates(c *Case) []*Case {
+	var out []*Case
+	add := func(m *Case) {
+		if m != nil && m.F.Verify() == nil {
+			out = append(out, m)
+		}
+	}
+
+	// Collapse each conditional branch to one side; unreachable blocks
+	// (often whole loop bodies or hammock arms) disappear with it.
+	for bi, b := range c.F.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.Br {
+			add(collapseBranch(c, bi, 0))
+			add(collapseBranch(c, bi, 1))
+		}
+	}
+	// Straighten jump chains: merge a block into its successor when the
+	// successor has no other predecessor, deleting the jump.
+	for bi, b := range c.F.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.Jump {
+			add(mergeWithSucc(c, bi))
+		}
+	}
+	// Delete individual non-terminator instructions. A deleted
+	// definition leaves its register zero, which the interpreters allow.
+	for bi, b := range c.F.Blocks {
+		for ii := range b.Body() {
+			add(dropInstr(c, bi, ii))
+		}
+	}
+	// Drop live-outs from the Ret.
+	if ret := c.F.RetInstr(); ret != nil {
+		for i := range ret.Srcs {
+			add(dropLiveOut(c, i))
+		}
+	}
+	// Simplify immediates toward zero.
+	for bi, b := range c.F.Blocks {
+		for ii, in := range b.Instrs {
+			if in.Imm != 0 {
+				add(setImm(c, bi, ii, 0))
+				if in.Imm/2 != 0 {
+					add(setImm(c, bi, ii, in.Imm/2))
+				}
+			}
+		}
+	}
+	// Zero inputs: arguments, then all of memory, then single words.
+	for i, a := range c.Args {
+		if a != 0 {
+			add(setArg(c, i, 0))
+		}
+	}
+	zeroed := false
+	for _, v := range c.Mem {
+		if v != 0 {
+			zeroed = true
+			break
+		}
+	}
+	if zeroed {
+		m := clone(c)
+		for i := range m.Mem {
+			m.Mem[i] = 0
+		}
+		add(m)
+	}
+	for i, v := range c.Mem {
+		if v != 0 {
+			m := clone(c)
+			m.Mem[i] = 0
+			add(m)
+		}
+	}
+	return out
+}
+
+// clone deep-copies a case via a print→parse round trip of the function
+// (the same round trip the IR tests guarantee is lossless).
+func clone(c *Case) *Case {
+	f, err := ir.Parse(c.F.String())
+	if err != nil {
+		// The case came from the builder or a previous parse; failure to
+		// re-parse means an IR printing bug, which must not be silently
+		// shrunk around.
+		panic("oracle: clone: " + err.Error())
+	}
+	return &Case{
+		Name:    c.Name,
+		Seed:    c.Seed,
+		F:       f,
+		Objects: append([]ir.MemObject(nil), c.Objects...),
+		Args:    append([]int64(nil), c.Args...),
+		Mem:     append([]int64(nil), c.Mem...),
+	}
+}
+
+// collapseBranch replaces block bi's conditional branch with an
+// unconditional jump to successor side, then prunes unreachable blocks.
+func collapseBranch(c *Case, bi, side int) *Case {
+	m := clone(c)
+	b := m.F.Blocks[bi]
+	t := b.Terminator()
+	if t == nil || t.Op != ir.Br || side >= len(b.Succs) {
+		return nil
+	}
+	keep := b.Succs[side]
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	b.Append(m.F.NewInstr(ir.Jump, ir.NoReg))
+	b.SetSuccs(keep)
+	pruneUnreachable(m.F)
+	return m
+}
+
+// mergeWithSucc splices block bi's sole successor into it, dropping the
+// jump between them. Legal only when the successor has no other
+// predecessor (so execution order is unchanged).
+func mergeWithSucc(c *Case, bi int) *Case {
+	m := clone(c)
+	b := m.F.Blocks[bi]
+	t := b.Terminator()
+	if t == nil || t.Op != ir.Jump {
+		return nil
+	}
+	s := b.Succs[0]
+	if s == b || len(s.Preds) != 1 {
+		return nil
+	}
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	for _, in := range s.Instrs {
+		b.Append(in)
+	}
+	b.SetSuccs(s.Succs...)
+	s.Instrs = nil
+	pruneUnreachable(m.F)
+	return m
+}
+
+// dropInstr deletes the ii-th body instruction of block bi.
+func dropInstr(c *Case, bi, ii int) *Case {
+	m := clone(c)
+	b := m.F.Blocks[bi]
+	if ii >= len(b.Body()) {
+		return nil
+	}
+	b.Instrs = append(b.Instrs[:ii], b.Instrs[ii+1:]...)
+	return m
+}
+
+// dropLiveOut removes the i-th live-out from the Ret.
+func dropLiveOut(c *Case, i int) *Case {
+	m := clone(c)
+	ret := m.F.RetInstr()
+	if ret == nil || i >= len(ret.Srcs) {
+		return nil
+	}
+	ret.Srcs = append(append([]ir.Reg(nil), ret.Srcs[:i]...), ret.Srcs[i+1:]...)
+	return m
+}
+
+// setImm replaces the immediate of instruction (bi, ii) with v.
+func setImm(c *Case, bi, ii int, v int64) *Case {
+	m := clone(c)
+	b := m.F.Blocks[bi]
+	if ii >= len(b.Instrs) {
+		return nil
+	}
+	b.Instrs[ii].Imm = v
+	return m
+}
+
+// setArg replaces argument i with v.
+func setArg(c *Case, i int, v int64) *Case {
+	m := clone(c)
+	m.Args[i] = v
+	return m
+}
+
+// pruneUnreachable removes blocks unreachable from the entry, reindexing
+// block IDs and predecessor lists so the function verifies again.
+func pruneUnreachable(f *ir.Function) {
+	reach := map[*ir.Block]bool{f.Entry(): true}
+	work := []*ir.Block{f.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = append([]*ir.Block(nil), kept...)
+	for i, b := range f.Blocks {
+		b.ID = i
+		preds := b.Preds[:0]
+		for _, p := range b.Preds {
+			if reach[p] {
+				preds = append(preds, p)
+			}
+		}
+		b.Preds = append([]*ir.Block(nil), preds...)
+	}
+}

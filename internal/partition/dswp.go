@@ -16,6 +16,10 @@ type DSWP struct{}
 // Name implements Partitioner.
 func (DSWP) Name() string { return "DSWP" }
 
+// QueueCap implements QueueCapper: the paper evaluates DSWP with 32-entry
+// queues, which let pipeline stages decouple and run ahead.
+func (DSWP) QueueCap() int { return 32 }
+
 // Partition implements Partitioner.
 func (DSWP) Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error) {
 	sccs := g.SCCs()

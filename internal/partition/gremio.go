@@ -240,8 +240,15 @@ func (st *gremioState) scheduleRegion(l *analysis.Loop, costs map[*analysis.Loop
 	}
 
 	// Forward dependence DAG between nodes, with per-arc source
-	// instructions kept for communication costing.
-	type regArc struct{ from, to, srcInstrExec int }
+	// instructions kept for communication costing. Forwardness must be
+	// decided at node granularity, not instruction granularity: a child
+	// loop contracts to one node but its blocks can straddle a region
+	// block in program order (loop body ... region block ... loop latch),
+	// so instruction-level "forward" arcs can run both into and out of the
+	// contracted node, forming a cycle the list scheduler never drains.
+	// Each node's position is the minimum program position over its
+	// instructions — a strict total order, so keeping only arcs that
+	// increase it yields a DAG.
 	preds := make([][]*pdg.Arc, nn)
 	succs := make([][]int, nn)
 	addSucc := func(a, b int) {
@@ -255,13 +262,22 @@ func (st *gremioState) scheduleRegion(l *analysis.Loop, costs map[*analysis.Loop
 	progPos := func(in *ir.Instr) int64 {
 		return int64(in.Block().ID)<<20 | int64(in.Index())
 	}
+	nodePos := make([]int64, nn)
+	for i := range nodePos {
+		nodePos[i] = int64(1) << 62
+	}
+	for in, i := range nodeOf {
+		if p := progPos(in); p < nodePos[i] {
+			nodePos[i] = p
+		}
+	}
 	for _, a := range st.g.Arcs {
 		fi, okF := nodeOf[a.From]
 		ti, okT := nodeOf[a.To]
 		if !okF || !okT || fi == ti {
 			continue
 		}
-		if progPos(a.From) < progPos(a.To) {
+		if nodePos[fi] < nodePos[ti] {
 			preds[ti] = append(preds[ti], a)
 			addSucc(fi, ti)
 		}

@@ -26,6 +26,28 @@ type Partitioner interface {
 	Partition(f *ir.Function, g *pdg.Graph, prof *ir.Profile, numThreads int) (map[*ir.Instr]int, error)
 }
 
+// QueueCapper is optionally implemented by partitioners whose generated
+// code targets a particular synchronization-array queue depth. The paper
+// evaluates DSWP with 32-entry queues and every other partitioner with
+// single-entry queues (Section 4); queue depth is a property of the
+// partitioning style because only pipeline partitions profit from deep
+// decoupling buffers.
+type QueueCapper interface {
+	// QueueCap returns the queue depth the partitioner's programs are
+	// measured with.
+	QueueCap() int
+}
+
+// QueueCapFor returns the synchronization-array queue depth to execute and
+// simulate p's programs with: the partitioner's own choice when it
+// implements QueueCapper, and the paper's single-entry default otherwise.
+func QueueCapFor(p Partitioner) int {
+	if qc, ok := p.(QueueCapper); ok {
+		return qc.QueueCap()
+	}
+	return 1
+}
+
 // latency estimates an instruction's execution latency in cycles, matching
 // the simulator's functional-unit model. Partitioners use it to balance
 // estimated dynamic cycles.

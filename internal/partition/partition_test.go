@@ -103,6 +103,62 @@ func TestGREMIOProducesValidPartition(t *testing.T) {
 	})
 }
 
+// TestGREMIOChildLoopStraddlingRegionBlock is the shrunk form of a fuzzer
+// finding (oracle seed 557): the inner loop's blocks straddle an
+// outer-loop-only block in program order, so contracting the inner loop to
+// one scheduling node turns instruction-level forward dependences into a
+// node-level cycle. GREMIO's list scheduler used to never drain that cycle
+// and left the straddled block's instructions unassigned.
+func TestGREMIOChildLoopStraddlingRegionBlock(t *testing.T) {
+	f, err := ir.Parse(`
+func rand(r1, r2)
+entry:
+	jump body.b3
+body.b3:  ; preds: entry exit.crit0
+	jump body.b18
+exit.b4:  ; preds: exit.b19
+	ret
+body.b18:  ; preds: body.b3 exit.crit0.b33
+	store [r71+0] = r2
+	jump exit.b24
+exit.b19:  ; preds: exit.b24
+	store [r106+0] = r13
+	br r109 exit.crit0, exit.b4
+exit.b24:  ; preds: body.b18
+	r98 = add r97, r96
+	store [r98+0] = r13
+	r99 = const 0
+	r58 = add r58, r99
+	r101 = cmplt r58, r100
+	br r101 exit.crit0.b33, exit.b19
+exit.crit0:  ; preds: exit.b19
+	jump body.b3
+exit.crit0.b33:  ; preds: exit.b24
+	jump body.b18
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	objects := []ir.MemObject{
+		{Name: "arr", Base: 0, Size: 16},
+		{Name: "arr", Base: 16, Size: 16},
+	}
+	g := pdg.Build(f, objects)
+	prof := profileOf(t, f, []int64{0, 0}, 32)
+	assign, err := GREMIO{}.Partition(f, g, prof, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	f.Instrs(func(in *ir.Instr) {
+		if !schedulable(in) {
+			return
+		}
+		if _, ok := assign[in]; !ok {
+			t.Errorf("instruction %v unassigned", in)
+		}
+	})
+}
+
 // endToEnd partitions, generates naive-MTCG code and checks equivalence
 // against the single-threaded run.
 func endToEnd(t *testing.T, part Partitioner, p *testprog.Prog, args []int64, memSize int64) {

@@ -68,14 +68,37 @@ func checkEquivalent(t *testing.T, p *randprog.Program, plan *mtcg.Plan,
 // randomPartition assigns every schedulable instruction a uniform random
 // thread — the adversarial case MTCG must still handle.
 func randomPartition(rng *rand.Rand, f *ir.Function, n int) map[*ir.Instr]int {
-	assign := map[*ir.Instr]int{}
-	f.Instrs(func(in *ir.Instr) {
-		if in.Op == ir.Jump || in.Op == ir.Nop {
-			return
+	return randprog.RandomPartition(rng, f, n)
+}
+
+// FuzzEquivalence is the native-fuzzing form of the seeded equivalence
+// loops below (which remain as deterministic smoke tests): one seed maps
+// to one generated program, checked under random partitions and both
+// communication plans. Run with
+//
+//	go test -fuzz=FuzzEquivalence ./internal/randprog
+func FuzzEquivalence(f *testing.F) {
+	for _, seed := range []int64{2024, 777, 31337, 55} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randprog.Generate(rng, randprog.DefaultOptions())
+		if err := p.F.Verify(); err != nil {
+			t.Fatalf("generated program invalid: %v\n%s", err, p.F)
 		}
-		assign[in] = rng.Intn(n)
+		st := runST(t, p)
+		g := pdg.Build(p.F, p.Objects)
+		for _, threads := range []int{2, 3} {
+			assign := randprog.RandomPartition(rng, p.F, threads)
+			checkEquivalent(t, p, mtcg.NaivePlan(p.F, g, assign, threads), assign, st, "naive")
+			cp, err := coco.Plan(p.F, g, assign, threads, st.Profile, coco.DefaultOptions())
+			if err != nil {
+				t.Fatalf("coco.Plan: %v\n%s", err, p.F)
+			}
+			checkEquivalent(t, p, cp, assign, st, "coco")
+		}
 	})
-	return assign
 }
 
 func TestFuzzEquivalenceRandomPartitions(t *testing.T) {

@@ -82,6 +82,22 @@ func Generate(rng *rand.Rand, opts Options) *Program {
 	}
 }
 
+// RandomPartition assigns every schedulable instruction of f a uniform
+// random thread in [0, n) — the adversarial partition MTCG must still
+// generate correct code for. It is the partition source the equivalence
+// fuzz tests and the differential oracle stress, alongside the real
+// partitioners.
+func RandomPartition(rng *rand.Rand, f *ir.Function, n int) map[*ir.Instr]int {
+	assign := map[*ir.Instr]int{}
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.Jump || in.Op == ir.Nop {
+			return
+		}
+		assign[in] = rng.Intn(n)
+	})
+	return assign
+}
+
 // pick returns a random known register.
 func (g *generator) pick() ir.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
 

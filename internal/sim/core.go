@@ -94,6 +94,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			}
 			q.vals = append(q.vals, v)
 			q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
+			c.stats.Produces++
 		case ir.Consume, ir.ConsumeSync:
 			q := s.queues[in.Queue]
 			if q.nextPop >= len(q.vals) {
@@ -106,6 +107,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			v := q.vals[q.nextPop]
 			arr := q.arrival[q.nextPop]
 			q.nextPop++
+			c.stats.Consumes++
 			if in.Op == ir.Consume {
 				c.regs[in.Dst] = v
 				// Stall-on-use: the consume completes now; its value

@@ -22,6 +22,11 @@ type CoreStats struct {
 	// IssueStallCycles counts cycles where the core issued nothing while
 	// still having work.
 	IssueStallCycles int64
+	// Produces and Consumes count dynamic synchronization-array operations
+	// (synchronization tokens included). The differential oracle checks
+	// they agree with the multi-threaded interpreter's counts.
+	Produces int64
+	Consumes int64
 }
 
 // Result is the outcome of a timed run.
