@@ -11,19 +11,30 @@
 //
 // Usage:
 //
+// Observability: -trace writes a Chrome trace-event JSON timeline of
+// every pipeline phase, interpreter run, and simulation (load it in
+// Perfetto or chrome://tracing); -metrics writes the deterministic metrics
+// registry. All recorded times are interpreter steps or simulator cycles,
+// never wall-clock, so both files are byte-identical across runs and -j
+// settings. -timeline additionally records per-cycle simulator lanes
+// (bounded by -trace-limit).
+//
 //	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...] [-j N]
+//	            [-trace out.json] [-metrics out.json] [-timeline] [-trace-limit N]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -33,6 +44,10 @@ func main() {
 	sel := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool size for the experiment matrix (1 = serial)")
 	flag.IntVar(jobs, "j", runtime.GOMAXPROCS(0), "shorthand for -jobs")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
+	timeline := flag.Bool("timeline", false, "record per-cycle simulator/interpreter lanes in the trace (large)")
+	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
 	flag.Parse()
 
 	switch *fig {
@@ -59,7 +74,18 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	ctx := context.Background()
-	engine := exp.NewEngine(exp.EngineOptions{Jobs: *jobs})
+	var o *exp.Obs
+	if *tracePath != "" || *metricsPath != "" {
+		o = &exp.Obs{Timeline: *timeline}
+		if *tracePath != "" {
+			o.Trace = obs.NewTrace()
+			o.Trace.SetLimit(*traceLimit)
+		}
+		if *metricsPath != "" {
+			o.Metrics = obs.NewRegistry()
+		}
+	}
+	engine := exp.NewEngine(exp.EngineOptions{Jobs: *jobs, Obs: o})
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	timed := func(name string, f func() error) {
@@ -105,5 +131,33 @@ func main() {
 			return err
 		})
 		exp.RenderFig8(os.Stdout, rows)
+	}
+
+	if o != nil {
+		if *tracePath != "" {
+			writeObs(*tracePath, o.Trace.WriteJSON)
+			if n := o.Trace.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "trace: %d events over the limit dropped (raise -trace-limit)\n", n)
+			}
+		}
+		if *metricsPath != "" {
+			writeObs(*metricsPath, o.Metrics.WriteJSON)
+		}
+	}
+}
+
+// writeObs writes one observability artifact, failing loudly: a truncated
+// trace would silently lie about what ran.
+func writeObs(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }

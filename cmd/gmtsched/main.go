@@ -4,18 +4,27 @@
 //
 // Usage:
 //
+// Observability: -trace writes a Chrome trace-event JSON timeline (load
+// in Perfetto or chrome://tracing) including the detailed per-cycle
+// simulator lanes and interpreter queue-occupancy tracks; -metrics writes
+// the deterministic metrics registry. All recorded times are interpreter
+// steps or simulator cycles, never wall-clock.
+//
 //	gmtsched -workload ks -partitioner gremio [-nococo] [-threads 2] [-sim]
+//	         [-trace out.json] [-metrics out.json] [-trace-limit N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/budget"
 	"repro/internal/coco"
 	"repro/internal/exp"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -27,7 +36,24 @@ func main() {
 	part := flag.String("partitioner", "gremio", "gremio or dswp")
 	noCoco := flag.Bool("nococo", false, "disable COCO (plain MTCG placement)")
 	simulate := flag.Bool("sim", true, "run the cycle-level simulator")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
+	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
 	flag.Parse()
+
+	var o *exp.Obs
+	if *tracePath != "" || *metricsPath != "" {
+		// The single-workload view records the detailed timelines by
+		// default; traces stay manageable because only one pipeline runs.
+		o = &exp.Obs{Timeline: true}
+		if *tracePath != "" {
+			o.Trace = obs.NewTrace()
+			o.Trace.SetLimit(*traceLimit)
+		}
+		if *metricsPath != "" {
+			o.Metrics = obs.NewRegistry()
+		}
+	}
 
 	w, err := workloads.ByName(*name)
 	die(err)
@@ -42,7 +68,7 @@ func main() {
 		die(fmt.Errorf("unknown partitioner %q", *part))
 	}
 
-	pipe, err := exp.Build(w, p, coco.DefaultOptions())
+	pipe, err := exp.BuildObserved(w, p, coco.DefaultOptions(), o)
 	die(err)
 	prog := pipe.Coco
 	if *noCoco {
@@ -60,11 +86,25 @@ func main() {
 	ref := w.Ref()
 	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), budget.Default().ProfileSteps)
 	die(err)
-	mt, err := interp.RunMT(interp.MTConfig{
+	mtCfg := interp.MTConfig{
 		Threads: prog.Threads, NumQueues: prog.NumQueues, QueueCap: pipe.QueueCap,
 		Assign: pipe.Assign,
 		Args:   ref.Args, Mem: append([]int64(nil), ref.Mem...), MaxSteps: budget.Default().MeasureSteps,
-	})
+	}
+	if o != nil {
+		if o.Metrics != nil {
+			mtCfg.Metrics = o.Metrics.Scope("gmtsched.check.interp")
+		}
+		if o.Trace != nil {
+			// The correctness run gets its own trace process with one
+			// queue-occupancy lane.
+			const checkPid = 3000
+			o.Trace.ProcessName(checkPid, w.Name+"/"+p.Name()+"/check interp")
+			o.Trace.ThreadName(checkPid, 0, "queues")
+			mtCfg.Trace = o.Trace.Lane(checkPid, 0)
+		}
+	}
+	mt, err := interp.RunMT(mtCfg)
 	die(err)
 	for i := range st.LiveOuts {
 		if st.LiveOuts[i] != mt.LiveOuts[i] {
@@ -80,12 +120,38 @@ func main() {
 
 	if *simulate {
 		cfg := sim.DefaultConfig()
-		stc, err := exp.SingleThreadedCycles(cfg, w)
+		stc, err := exp.SingleThreadedCyclesObserved(cfg, w, o)
 		die(err)
 		mtc, err := pipe.MeasureCycles(pipe.Machine(cfg), prog)
 		die(err)
 		fmt.Printf("cycles:      single-threaded=%d multi-threaded=%d speedup=%.2fx\n",
 			stc, mtc, float64(stc)/float64(mtc))
+	}
+
+	if o != nil {
+		if *tracePath != "" {
+			writeObs(*tracePath, o.Trace.WriteJSON)
+			if n := o.Trace.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "trace: %d events over the limit dropped (raise -trace-limit)\n", n)
+			}
+		}
+		if *metricsPath != "" {
+			writeObs(*metricsPath, o.Metrics.WriteJSON)
+		}
+	}
+}
+
+// writeObs writes one observability artifact, dying on any error.
+func writeObs(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		die(fmt.Errorf("writing %s: %w", path, err))
 	}
 }
 

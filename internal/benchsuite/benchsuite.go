@@ -1,0 +1,105 @@
+// Package benchsuite serializes benchmark results to a JSON artifact
+// (BENCH_pipeline.json) so CI can archive per-commit performance data and
+// a perf PR can diff before/after numbers. Wall-clock ns/op is inherently
+// noisy; each result therefore also carries the benchmark's deterministic
+// work metrics (steps, cycles, queue counts), which must not drift at all
+// between commits unless the change intends them to.
+package benchsuite
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Result is one benchmark's outcome.
+type Result struct {
+	// Name is the benchmark name as reported by the testing package.
+	Name string
+	// Iterations is b.N of the final run.
+	Iterations int
+	// NsPerOp is wall-clock nanoseconds per iteration (noisy; compare
+	// with judgement).
+	NsPerOp float64
+	// Metrics holds the benchmark's deterministic quantities.
+	Metrics map[string]float64
+}
+
+// Recorder accumulates results and rewrites its file after every Record:
+// the go test harness offers no end-of-run hook short of TestMain, and a
+// partial file beats a missing one when a later benchmark crashes.
+type Recorder struct {
+	mu      sync.Mutex
+	path    string
+	results map[string]Result
+}
+
+// NewRecorder returns a recorder that maintains the JSON file at path.
+func NewRecorder(path string) *Recorder {
+	return &Recorder{path: path, results: map[string]Result{}}
+}
+
+// Record stores res (replacing any previous result with the same name)
+// and rewrites the file.
+func (r *Recorder) Record(res Result) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results[res.Name] = res
+	rs := make([]Result, 0, len(r.results))
+	for _, v := range r.results {
+		rs = append(rs, v)
+	}
+	f, err := os.Create(r.path)
+	if err != nil {
+		return err
+	}
+	err = WriteJSON(f, rs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteJSON renders results sorted by name with stable field ordering:
+// one benchmark per line, fields in the order name, iterations, ns_per_op,
+// metrics (keys sorted). Everything but ns_per_op is deterministic.
+func WriteJSON(w io.Writer, results []Result) error {
+	rs := append([]Result(nil), results...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	if _, err := io.WriteString(w, "{\n\"benchmarks\": ["); err != nil {
+		return err
+	}
+	for i, r := range rs {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		metrics := ""
+		for j, k := range keys {
+			if j > 0 {
+				metrics += ", "
+			}
+			metrics += fmt.Sprintf("%q: %s", k, formatFloat(r.Metrics[k]))
+		}
+		if _, err := fmt.Fprintf(w, "%s\n{\"name\": %q, \"iterations\": %d, \"ns_per_op\": %s, \"metrics\": {%s}}",
+			sep, r.Name, r.Iterations, formatFloat(r.NsPerOp), metrics); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n}\n")
+	return err
+}
+
+// formatFloat renders v as a JSON number (shortest round-trip form;
+// integers print without an exponent or trailing zeros).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,61 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteJSONStableAndSorted(t *testing.T) {
+	rs := []Result{
+		{Name: "B", Iterations: 2, NsPerOp: 1.5, Metrics: map[string]float64{"z": 3, "a": 740129}},
+		{Name: "A", Iterations: 1, NsPerOp: 100, Metrics: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+"benchmarks": [
+{"name": "A", "iterations": 1, "ns_per_op": 100, "metrics": {}},
+{"name": "B", "iterations": 2, "ns_per_op": 1.5, "metrics": {"a": 740129, "z": 3}}
+]
+}
+`
+	if buf.String() != want {
+		t.Errorf("WriteJSON:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("output is not valid JSON")
+	}
+}
+
+func TestRecorderRewritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := NewRecorder(path)
+	if err := r.Record(Result{Name: "X", Iterations: 1, NsPerOp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(Result{Name: "X", Iterations: 5, NsPerOp: 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Benchmarks []struct {
+			Name       string  `json:"name"`
+			Iterations int     `json:"iterations"`
+			NsPerOp    float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Iterations != 5 {
+		t.Errorf("file = %s, want one X entry with 5 iterations", raw)
+	}
+}

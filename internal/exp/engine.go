@@ -26,6 +26,11 @@ type EngineOptions struct {
 	// pipeline the engine builds (nil rather than a zero Options because
 	// the zero value — everything off — is a meaningful ablation).
 	Coco *coco.Options
+	// Obs, when non-nil, records every pipeline phase, interpreter run,
+	// and simulation into its trace/metrics sinks. Memoization means each
+	// phase is recorded exactly once per engine regardless of Jobs, so
+	// the written trace is identical at any worker-pool size.
+	Obs *Obs
 }
 
 // Engine runs the workload × partitioner experiment matrix concurrently,
@@ -47,6 +52,7 @@ type Engine struct {
 	jobs   int
 	budget budget.Budget
 	opts   coco.Options
+	obs    *Obs
 
 	profileRuns atomic.Int64
 	pdgBuilds   atomic.Int64
@@ -85,6 +91,7 @@ func NewEngine(o EngineOptions) *Engine {
 		jobs:      o.Jobs,
 		budget:    o.Budget.OrElse(budget.Experiments()),
 		opts:      opts,
+		obs:       o.Obs,
 		artifacts: map[string]*memo[*Artifact]{},
 		pipelines: map[string]*memo[*Pipeline]{},
 		stCycles:  map[stKey]*memo[int64]{},
@@ -142,7 +149,7 @@ func (e *Engine) Artifact(ctx context.Context, w *workloads.Workload) (*Artifact
 	return e.artifactSlot(w.Name).do(func() (*Artifact, error) {
 		e.profileRuns.Add(1)
 		e.pdgBuilds.Add(1)
-		return BuildArtifact(ctx, w, e.budget)
+		return buildArtifact(ctx, w, e.budget, e.obs)
 	})
 }
 
@@ -154,7 +161,7 @@ func (e *Engine) Pipeline(ctx context.Context, w *workloads.Workload, part parti
 		if err != nil {
 			return nil, err
 		}
-		return BuildFromArtifact(ctx, w, part, e.opts, art, e.budget)
+		return buildFromArtifact(ctx, w, part, e.opts, art, e.budget, e.obs)
 	})
 }
 
@@ -165,7 +172,7 @@ func (e *Engine) SingleThreadedCycles(ctx context.Context, cfg sim.Config, w *wo
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
 		}
-		return singleThreadedCycles(cfg, w, e.budget)
+		return singleThreadedCycles(cfg, w, e.budget, e.obs)
 	})
 }
 

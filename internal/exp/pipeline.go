@@ -21,6 +21,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mtcg"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/pdg"
 	"repro/internal/queue"
@@ -39,6 +40,10 @@ type Artifact struct {
 
 // BuildArtifact profiles w on its train input and builds its PDG.
 func BuildArtifact(ctx context.Context, w *workloads.Workload, b budget.Budget) (*Artifact, error) {
+	return buildArtifact(ctx, w, b, nil)
+}
+
+func buildArtifact(ctx context.Context, w *workloads.Workload, b budget.Budget, o *Obs) (*Artifact, error) {
 	b = b.OrElse(budget.Experiments())
 	train := w.Train()
 	prof, err := interp.RunCtx(ctx, w.F, train.Args, train.Mem, b.ProfileSteps)
@@ -48,7 +53,17 @@ func BuildArtifact(ctx context.Context, w *workloads.Workload, b budget.Budget) 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", w.Name, err)
 	}
-	return &Artifact{Profile: prof.Profile, Graph: pdg.Build(w.F, w.Objects)}, nil
+	lane := o.analysisLane(w.Name)
+	s := o.scope(w.Name)
+	lane.Span("profile", "pipeline", prof.Steps, obs.A("steps", prof.Steps))
+	s.Timer("profile").Observe(prof.Steps)
+
+	g := pdg.Build(w.F, w.Objects)
+	nodes, arcs := int64(w.F.NumInstrs()), int64(g.NumArcs())
+	lane.Span("pdg-build", "pipeline", nodes+arcs, obs.A("arcs", arcs), obs.A("nodes", nodes))
+	s.Gauge("pdg.nodes").Set(nodes)
+	s.Gauge("pdg.arcs").Set(arcs)
+	return &Artifact{Profile: prof.Profile, Graph: g}, nil
 }
 
 // Pipeline holds everything produced for one (workload, partitioner) pair:
@@ -68,18 +83,43 @@ type Pipeline struct {
 	QueueCap int
 
 	budget budget.Budget
+	o      *Obs
+}
+
+// progLabel names a measured program and gives its stable trace-pid bit:
+// COCO's program is "coco"/1, everything else "naive"/0.
+func (p *Pipeline) progLabel(prog *mtcg.Program) (string, int) {
+	if prog != nil && prog == p.Coco {
+		return "coco", 1
+	}
+	return "naive", 0
+}
+
+// progInstrs is the static size of a generated program across threads.
+func progInstrs(prog *mtcg.Program) int64 {
+	var n int64
+	for _, f := range prog.Threads {
+		n += int64(f.NumInstrs())
+	}
+	return n
 }
 
 // Build runs the full compilation pipeline for a workload and partitioner:
 // train-input profiling, PDG construction, partitioning, naive MTCG, COCO,
 // and queue allocation on both programs.
 func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options) (*Pipeline, error) {
+	return BuildObserved(w, part, opts, nil)
+}
+
+// BuildObserved is Build with every phase recorded into o's sinks (a nil
+// o records nothing and is exactly Build).
+func BuildObserved(w *workloads.Workload, part partition.Partitioner, opts coco.Options, o *Obs) (*Pipeline, error) {
 	ctx := context.Background()
-	art, err := BuildArtifact(ctx, w, budget.Experiments())
+	art, err := buildArtifact(ctx, w, budget.Experiments(), o)
 	if err != nil {
 		return nil, err
 	}
-	return BuildFromArtifact(ctx, w, part, opts, art, budget.Experiments())
+	return buildFromArtifact(ctx, w, part, opts, art, budget.Experiments(), o)
 }
 
 // BuildFromArtifact runs the partitioner-dependent tail of the pipeline —
@@ -87,6 +127,11 @@ func Build(w *workloads.Workload, part partition.Partitioner, opts coco.Options)
 // precomputed (and possibly shared) artifact. It never mutates art.
 func BuildFromArtifact(ctx context.Context, w *workloads.Workload, part partition.Partitioner,
 	opts coco.Options, art *Artifact, b budget.Budget) (*Pipeline, error) {
+	return buildFromArtifact(ctx, w, part, opts, art, b, nil)
+}
+
+func buildFromArtifact(ctx context.Context, w *workloads.Workload, part partition.Partitioner,
+	opts coco.Options, art *Artifact, b budget.Budget, o *Obs) (*Pipeline, error) {
 
 	g, prof := art.Graph, art.Profile
 	assign, err := part.Partition(w.F, g, prof, 2)
@@ -96,28 +141,46 @@ func BuildFromArtifact(ctx context.Context, w *workloads.Workload, part partitio
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", w.Name, part.Name(), err)
 	}
+	lane := o.partLane(w.Name, part.Name())
+	sp := o.partScope(w.Name, part.Name())
+	lane.Span("partition", "pipeline", int64(w.F.NumInstrs()), obs.A("threads", 2))
+	sp.Timer("partition").Observe(int64(w.F.NumInstrs()))
 
 	naive, err := mtcg.Generate(mtcg.NaivePlan(w.F, g, assign, 2))
 	if err != nil {
 		return nil, fmt.Errorf("exp: naive MTCG for %s/%s: %w", w.Name, part.Name(), err)
 	}
-	queue.Allocate(naive)
+	lane.Span("mtcg-naive", "pipeline", progInstrs(naive),
+		obs.A("instrs", progInstrs(naive)), obs.A("queues", int64(naive.NumQueues)))
+	na := queue.Allocate(naive)
+	lane.Span("queue-alloc-naive", "pipeline", int64(na.Before),
+		obs.A("after", int64(na.After)), obs.A("before", int64(na.Before)))
+	sp.Gauge("naive.instrs").Set(progInstrs(naive))
+	sp.Gauge("naive.queues").Set(int64(naive.NumQueues))
 
 	plan, err := coco.Plan(w.F, g, assign, 2, prof, opts)
 	if err != nil {
 		return nil, fmt.Errorf("exp: COCO for %s/%s: %w", w.Name, part.Name(), err)
 	}
+	lane.Span("coco-plan", "pipeline", int64(w.F.NumInstrs()))
 	opt, err := mtcg.Generate(plan)
 	if err != nil {
 		return nil, fmt.Errorf("exp: optimized MTCG for %s/%s: %w", w.Name, part.Name(), err)
 	}
-	queue.Allocate(opt)
+	lane.Span("mtcg-coco", "pipeline", progInstrs(opt),
+		obs.A("instrs", progInstrs(opt)), obs.A("queues", int64(opt.NumQueues)))
+	ca := queue.Allocate(opt)
+	lane.Span("queue-alloc-coco", "pipeline", int64(ca.Before),
+		obs.A("after", int64(ca.After)), obs.A("before", int64(ca.Before)))
+	sp.Gauge("coco.instrs").Set(progInstrs(opt))
+	sp.Gauge("coco.queues").Set(int64(opt.NumQueues))
 
 	return &Pipeline{
 		W: w, Part: part, Assign: assign, Graph: g,
 		Profile: prof, Naive: naive, Coco: opt,
 		QueueCap: partition.QueueCapFor(part),
 		budget:   b.OrElse(budget.Experiments()),
+		o:        o,
 	}, nil
 }
 
@@ -128,8 +191,9 @@ func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
 }
 
 func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.CommStats, error) {
+	label, bit := p.progLabel(prog)
 	in := p.W.Ref()
-	mt, err := interp.RunMT(interp.MTConfig{
+	cfg := interp.MTConfig{
 		Threads:   prog.Threads,
 		NumQueues: prog.NumQueues,
 		QueueCap:  p.QueueCap,
@@ -138,10 +202,17 @@ func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.
 		Mem:       in.Mem,
 		MaxSteps:  p.measureBudget().MeasureSteps,
 		Ctx:       ctx,
-	})
+	}
+	if p.o != nil {
+		cfg.Metrics = p.o.partScope(p.W.Name, p.Part.Name()).Child(label + ".interp")
+		cfg.Trace = p.o.interpLane(p.W.Name, p.Part.Name(), label, bit)
+	}
+	mt, err := interp.RunMT(cfg)
 	if err != nil {
 		return interp.CommStats{}, fmt.Errorf("exp: measuring %s/%s: %w", p.W.Name, p.Part.Name(), err)
 	}
+	p.o.partLane(p.W.Name, p.Part.Name()).Span("measure-"+label, "measure",
+		mt.Steps, obs.A("steps", mt.Steps))
 	return mt.Stats, nil
 }
 
@@ -161,11 +232,15 @@ func (p *Pipeline) Machine(cfg sim.Config) sim.Config {
 // returns the cycle count. The machine is taken as given; callers modeling
 // the paper's per-partitioner queue depths wrap cfg with Machine first.
 func (p *Pipeline) MeasureCycles(cfg sim.Config, prog *mtcg.Program) (int64, error) {
+	label, bit := p.progLabel(prog)
 	in := p.W.Ref()
-	res, err := sim.Run(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles)
+	ob := p.o.simObserver(p.W.Name, p.Part.Name(), label, bit)
+	res, err := sim.RunObserved(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles, ob)
 	if err != nil {
 		return 0, fmt.Errorf("exp: simulating %s/%s: %w", p.W.Name, p.Part.Name(), err)
 	}
+	p.o.partLane(p.W.Name, p.Part.Name()).Span("simulate-"+label, "measure",
+		res.Cycles, obs.A("cycles", res.Cycles))
 	return res.Cycles, nil
 }
 
@@ -177,15 +252,24 @@ func (p *Pipeline) measureBudget() budget.Budget {
 
 // SingleThreadedCycles simulates the original function on one core.
 func SingleThreadedCycles(cfg sim.Config, w *workloads.Workload) (int64, error) {
-	return singleThreadedCycles(cfg, w, budget.Experiments())
+	return singleThreadedCycles(cfg, w, budget.Experiments(), nil)
 }
 
-func singleThreadedCycles(cfg sim.Config, w *workloads.Workload, b budget.Budget) (int64, error) {
+// SingleThreadedCyclesObserved is SingleThreadedCycles with the baseline
+// simulation recorded into o's sinks.
+func SingleThreadedCyclesObserved(cfg sim.Config, w *workloads.Workload, o *Obs) (int64, error) {
+	return singleThreadedCycles(cfg, w, budget.Experiments(), o)
+}
+
+func singleThreadedCycles(cfg sim.Config, w *workloads.Workload, b budget.Budget, o *Obs) (int64, error) {
 	in := w.Ref()
-	res, err := sim.RunSingle(cfg, w.F, in.Args, in.Mem, b.OrElse(budget.Experiments()).SimCycles)
+	ob := o.simObserver(w.Name, "", "st", 0)
+	res, err := sim.RunObserved(cfg, []*ir.Function{w.F}, in.Args, in.Mem,
+		b.OrElse(budget.Experiments()).SimCycles, ob)
 	if err != nil {
 		return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
 	}
+	o.analysisLane(w.Name).Span("simulate-st", "measure", res.Cycles, obs.A("cycles", res.Cycles))
 	return res.Cycles, nil
 }
 

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the observability golden files")
+
+// runObservedKS runs the ks workload through the full engine (comm +
+// speedup experiments) with observability attached and returns the
+// serialized trace and metrics.
+func runObservedKS(t *testing.T, jobs int) (traceJSON, metricsJSON []byte) {
+	t.Helper()
+	w, err := workloads.ByName("ks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Obs{Trace: obs.NewTrace(), Metrics: obs.NewRegistry()}
+	e := NewEngine(EngineOptions{Jobs: jobs, Obs: o})
+	ctx := context.Background()
+	ws := []*workloads.Workload{w}
+	if _, err := e.CommExperiment(ctx, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SpeedupExperiment(ctx, sim.DefaultConfig(), ws); err != nil {
+		t.Fatal(err)
+	}
+	var tb, mb bytes.Buffer
+	if err := o.Trace.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if o.Trace.Dropped() != 0 {
+		t.Fatalf("phase-level trace dropped %d events; it must fit the limit", o.Trace.Dropped())
+	}
+	if err := o.Metrics.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+// TestObservabilityGoldenKS pins the exact bytes of the ks workload's
+// trace and metrics files: recorded values are interpreter steps and
+// simulator cycles, never wall-clock, so the files are fully
+// deterministic and any diff means observed behavior changed. Regenerate
+// deliberately with:
+//
+//	go test ./internal/exp -run ObservabilityGolden -update
+func TestObservabilityGoldenKS(t *testing.T) {
+	traceJSON, metricsJSON := runObservedKS(t, 1)
+	obstest.CheckTraceShape(t, traceJSON)
+	for _, g := range []struct {
+		path string
+		got  []byte
+	}{
+		{"testdata/trace_ks.golden.json", traceJSON},
+		{"testdata/metrics_ks.golden.json", metricsJSON},
+	} {
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(g.path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/exp -run ObservabilityGolden -update`)", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s: output differs from golden (%d bytes vs %d); if the change is intended, rerun with -update",
+				g.path, len(g.got), len(want))
+		}
+	}
+}
+
+// TestObservabilityDeterministicAcrossJobs: the worker-pool size must not
+// leak into the observability artifacts.
+func TestObservabilityDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ks pipeline twice")
+	}
+	t1, m1 := runObservedKS(t, 1)
+	t4, m4 := runObservedKS(t, 4)
+	if !bytes.Equal(t1, t4) {
+		t.Error("trace bytes differ between jobs=1 and jobs=4")
+	}
+	if !bytes.Equal(m1, m4) {
+		t.Error("metrics bytes differ between jobs=1 and jobs=4")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // ErrDeadlock is returned when every unfinished thread is blocked on a
@@ -62,9 +63,25 @@ func (s *CommStats) Add(o CommStats) {
 // QueueStats counts the dynamic traffic through one synchronization-array
 // queue. At normal termination Produced == Consumed for every queue (every
 // value produced is consumed); the differential oracle asserts this.
+// Depth high-water marks live in MTResult.QueueHWM, not here: traffic
+// counts are schedule-independent (the oracle compares them across
+// policies) while occupancy depends on the interleaving.
 type QueueStats struct {
 	Produced int64
 	Consumed int64
+}
+
+// SchedStats counts scheduler-policy activity during one run: how many
+// times the policy was consulted and how many of those picks found the
+// chosen thread blocked on a queue. Picks == BlockedTurns + issued steps.
+type SchedStats struct {
+	// Policy is the scheduling policy's name.
+	Policy string
+	// Picks is the number of Scheduler.Pick calls.
+	Picks int64
+	// BlockedTurns is the number of picks whose thread could not step
+	// because its queue operation would block.
+	BlockedTurns int64
 }
 
 // MTConfig describes a multi-threaded program to execute.
@@ -92,6 +109,17 @@ type MTConfig struct {
 	// Ctx, when non-nil, is polled every checkEvery steps; a done context
 	// aborts the run with its error. Nil means run to completion.
 	Ctx context.Context
+	// Metrics, when non-nil, receives live per-role instruction counters,
+	// per-queue traffic counters and depth high-water gauges, and
+	// scheduler-policy counts, recorded at the instrumentation points as
+	// the run executes. This is a second accounting path, independent of
+	// the MTResult bookkeeping; the oracle reconciliation tests assert the
+	// two agree exactly.
+	Metrics *obs.Scope
+	// Trace, when non-nil, receives a per-queue occupancy timeline:
+	// counter events named "q<N>" with series "depth", timestamped in
+	// issued steps.
+	Trace *obs.Lane
 }
 
 // MTResult is the outcome of a multi-threaded run.
@@ -110,6 +138,83 @@ type MTResult struct {
 	// PerQueue counts the values produced into and consumed from each
 	// queue (synchronization tokens included).
 	PerQueue []QueueStats
+	// QueueHWM is each queue's depth high-water mark: the largest number
+	// of values buffered at once, tracked per (producer, consumer) queue
+	// — never folded into one global maximum — so DSWP's 32-entry queues
+	// and the single-entry queues of the other partitioners report
+	// separately. Unlike PerQueue traffic counts, occupancy depends on
+	// the schedule.
+	QueueHWM []int64
+	// Sched counts scheduler-policy activity.
+	Sched SchedStats
+}
+
+// mtMetrics holds the live obs instruments of one run — the second
+// accounting path recorded alongside the MTResult bookkeeping.
+type mtMetrics struct {
+	steps, compute, dupBranch                  *obs.Counter
+	produce, consume, produceSync, consumeSync *obs.Counter
+	schedPicks, schedBlocked                   *obs.Counter
+	queueProduced, queueConsumed               []*obs.Counter
+	queueHWM                                   []*obs.Gauge
+}
+
+func newMTMetrics(s *obs.Scope, numQueues int) *mtMetrics {
+	if s == nil {
+		return nil
+	}
+	m := &mtMetrics{
+		steps:        s.Counter("steps"),
+		compute:      s.Counter("compute"),
+		dupBranch:    s.Counter("dup_branch"),
+		produce:      s.Counter("produce"),
+		consume:      s.Counter("consume"),
+		produceSync:  s.Counter("produce_sync"),
+		consumeSync:  s.Counter("consume_sync"),
+		schedPicks:   s.Counter("sched.picks"),
+		schedBlocked: s.Counter("sched.blocked_turns"),
+	}
+	for q := 0; q < numQueues; q++ {
+		qs := s.Child(fmt.Sprintf("queue.%d", q))
+		m.queueProduced = append(m.queueProduced, qs.Counter("produced"))
+		m.queueConsumed = append(m.queueConsumed, qs.Counter("consumed"))
+		m.queueHWM = append(m.queueHWM, qs.Gauge("hwm"))
+	}
+	return m
+}
+
+// runObs bundles the optional observability sinks threaded through the
+// interpreter loop; a nil *runObs (or nil fields) records nothing.
+type runObs struct {
+	m      *mtMetrics
+	lane   *obs.Lane
+	qnames []string // cached "q<N>" counter-track names for the lane
+}
+
+func newRunObs(cfg *MTConfig) *runObs {
+	if cfg.Metrics == nil && cfg.Trace == nil {
+		return nil
+	}
+	o := &runObs{m: newMTMetrics(cfg.Metrics, cfg.NumQueues), lane: cfg.Trace}
+	if o.lane != nil {
+		for q := 0; q < cfg.NumQueues; q++ {
+			o.qnames = append(o.qnames, fmt.Sprintf("q%d", q))
+		}
+	}
+	return o
+}
+
+// queueDepth records a queue's occupancy after a produce or consume.
+func (o *runObs) queueDepth(q int, step int64, depth int) {
+	if o == nil {
+		return
+	}
+	if o.m != nil {
+		o.m.queueHWM[q].SetMax(int64(depth))
+	}
+	if o.lane != nil {
+		o.lane.Counter(o.qnames[q], step, "depth", int64(depth))
+	}
 }
 
 // threadState is one thread's execution context.
@@ -154,7 +259,10 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		Mem:       cfg.Mem,
 		PerThread: make([]CommStats, len(threads)),
 		PerQueue:  make([]QueueStats, cfg.NumQueues),
+		QueueHWM:  make([]int64, cfg.NumQueues),
+		Sched:     SchedStats{Policy: sched.Name()},
 	}
+	ro := newRunObs(&cfg)
 	// blocked[t] is set when t failed to step and cleared whenever any
 	// thread issues an instruction (which is the only event that can
 	// unblock a queue operation).
@@ -188,13 +296,24 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 			return nil, fmt.Errorf("%w: %s picked thread %d (runnable %v)",
 				ErrBadSchedule, sched.Name(), ti, runnable)
 		}
-		stepped, err := stepThread(threads[ti], ti, queues, cfg, &res.PerThread[ti], res.PerQueue)
+		res.Sched.Picks++
+		if ro != nil && ro.m != nil {
+			ro.m.schedPicks.Inc()
+		}
+		stepped, err := stepThread(threads[ti], ti, queues, cfg, &res.PerThread[ti], res, ro, steps)
 		if err != nil {
 			return nil, err
 		}
 		if !stepped {
 			blocked[ti] = true
+			res.Sched.BlockedTurns++
+			if ro != nil && ro.m != nil {
+				ro.m.schedBlocked.Inc()
+			}
 			continue
+		}
+		if ro != nil && ro.m != nil {
+			ro.m.steps.Inc()
 		}
 		for i := range blocked {
 			blocked[i] = false
@@ -222,9 +341,13 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 }
 
 // stepThread executes at most one instruction of ts, returning whether it
-// made progress (false when blocked on a queue).
+// made progress (false when blocked on a queue). res receives per-queue
+// traffic and depth high-water bookkeeping; ro (optional) is the obs
+// accounting path, and step is the issued-step timestamp for its queue
+// occupancy timeline.
 func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
-	stats *CommStats, perQueue []QueueStats) (bool, error) {
+	stats *CommStats, res *MTResult, ro *runObs, step int64) (bool, error) {
+	perQueue := res.PerQueue
 	in := ts.blk.Instrs[ts.idx]
 	switch in.Op {
 	case ir.Produce, ir.ProduceSync:
@@ -240,6 +363,20 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		}
 		queues[in.Queue] = append(queues[in.Queue], v)
 		perQueue[in.Queue].Produced++
+		if d := int64(len(queues[in.Queue])); d > res.QueueHWM[in.Queue] {
+			res.QueueHWM[in.Queue] = d
+		}
+		if ro != nil {
+			if ro.m != nil {
+				if in.Op == ir.Produce {
+					ro.m.produce.Inc()
+				} else {
+					ro.m.produceSync.Inc()
+				}
+				ro.m.queueProduced[in.Queue].Inc()
+			}
+			ro.queueDepth(in.Queue, step, len(queues[in.Queue]))
+		}
 		ts.idx++
 	case ir.Consume, ir.ConsumeSync:
 		if len(queues[in.Queue]) == 0 {
@@ -254,12 +391,29 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		} else {
 			stats.ConsumeSync++
 		}
+		if ro != nil {
+			if ro.m != nil {
+				if in.Op == ir.Consume {
+					ro.m.consume.Inc()
+				} else {
+					ro.m.consumeSync.Inc()
+				}
+				ro.m.queueConsumed[in.Queue].Inc()
+			}
+			ro.queueDepth(in.Queue, step, len(queues[in.Queue]))
+		}
 		ts.idx++
 	case ir.Br:
 		if in.Orig != nil && cfg.Assign[in.Orig] != ti {
 			stats.DupBranch++
+			if ro != nil && ro.m != nil {
+				ro.m.dupBranch.Inc()
+			}
 		} else {
 			stats.Compute++
+			if ro != nil && ro.m != nil {
+				ro.m.compute.Inc()
+			}
 		}
 		next := ts.blk.Succs[1]
 		if ts.regs[in.Srcs[0]] != 0 {
@@ -268,9 +422,15 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		ts.blk, ts.idx = next, 0
 	case ir.Jump:
 		stats.Compute++
+		if ro != nil && ro.m != nil {
+			ro.m.compute.Inc()
+		}
 		ts.blk, ts.idx = ts.blk.Succs[0], 0
 	case ir.Ret:
 		stats.Compute++
+		if ro != nil && ro.m != nil {
+			ro.m.compute.Inc()
+		}
 		ts.done = true
 		if len(in.Srcs) > 0 {
 			ts.outs = []int64{}
@@ -280,6 +440,9 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		}
 	default:
 		stats.Compute++
+		if ro != nil && ro.m != nil {
+			ro.m.compute.Inc()
+		}
 		if err := exec(in, ts.regs, cfg.Mem); err != nil {
 			return false, fmt.Errorf("interp: thread %d: %v: %w", ti, in, err)
 		}

@@ -95,6 +95,14 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			q.vals = append(q.vals, v)
 			q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
 			c.stats.Produces++
+			qs := &s.qstats[in.Queue]
+			qs.Produced++
+			if d := int64(q.inFlight()); d > qs.HighWater {
+				qs.HighWater = d
+			}
+			if s.saLane != nil {
+				s.saLane.Counter(s.qnames[in.Queue], cycle, "depth", int64(q.inFlight()))
+			}
 		case ir.Consume, ir.ConsumeSync:
 			q := s.queues[in.Queue]
 			if q.nextPop >= len(q.vals) {
@@ -108,6 +116,10 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			arr := q.arrival[q.nextPop]
 			q.nextPop++
 			c.stats.Consumes++
+			s.qstats[in.Queue].Consumed++
+			if s.saLane != nil {
+				s.saLane.Counter(s.qnames[in.Queue], cycle, "depth", int64(q.inFlight()))
+			}
 			if in.Op == ir.Consume {
 				c.regs[in.Dst] = v
 				// Stall-on-use: the consume completes now; its value

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // ErrNoProgress is returned when no core issues an instruction for an
@@ -29,10 +30,23 @@ type CoreStats struct {
 	Consumes int64
 }
 
+// QueueStats aggregates one synchronization-array queue's activity.
+// Occupancy is tracked per (producer, consumer) queue, never folded into
+// a global maximum, so DSWP's deep queues and the single-entry queues of
+// the other partitioners report separately.
+type QueueStats struct {
+	Produced int64
+	Consumed int64
+	// HighWater is the largest number of values in flight (produced but
+	// not yet consumed) at once.
+	HighWater int64
+}
+
 // Result is the outcome of a timed run.
 type Result struct {
 	Cycles   int64
 	PerCore  []CoreStats
+	PerQueue []QueueStats
 	LiveOuts []int64
 	Mem      []int64
 }
@@ -80,14 +94,47 @@ type system struct {
 	cfg    Config
 	cores  []*core
 	queues []*saQueue
+	qstats []QueueStats
 	mem    []int64
 	err    error // first memory fault
+
+	// Observability sinks (all optional). saLane carries queue-occupancy
+	// counter tracks; coreLanes carry per-core coalesced stall spans.
+	saLane    *obs.Lane
+	coreLanes []*obs.Lane
+	qnames    []string // cached "q<N>" counter-track names
+}
+
+// Observer carries the optional observability sinks for one simulation
+// run. It is passed alongside Config rather than inside it so Config
+// stays comparable (the experiment engine memoizes simulation results
+// keyed on it). All timestamps recorded through an Observer are simulator
+// cycles, never wall-clock.
+type Observer struct {
+	// Metrics receives end-of-run totals: cycles, per-core
+	// core<i>.{instrs,stall_cycles,produces,consumes,mispreds}, and
+	// per-queue queue.<q>.{produced,consumed,hwm}.
+	Metrics *obs.Scope
+	// Trace receives the cycle timeline: coalesced issue-stall spans on
+	// one lane per core (tid = core ID + 1) and queue-occupancy counter
+	// series on the synchronization-array lane (tid 0).
+	Trace *obs.Trace
+	// Pid is the trace process ID the run's lanes are placed under; the
+	// caller labels it with Trace.ProcessName.
+	Pid int
 }
 
 // Run simulates the threads to completion on the configured machine and
 // returns timing and functional results. The thread functions must all take
 // the same parameters; mem is the shared memory image (mutated).
 func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycles int64) (*Result, error) {
+	return RunObserved(cfg, threads, args, mem, maxCycles, nil)
+}
+
+// RunObserved is Run with observability: per-queue occupancy and per-core
+// stall timelines stream into ob's sinks as the simulation advances. A nil
+// ob (or nil fields) records nothing and is exactly Run.
+func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycles int64, ob *Observer) (*Result, error) {
 	if len(threads) > cfg.Cores {
 		return nil, fmt.Errorf("sim: %d threads exceed %d cores", len(threads), cfg.Cores)
 	}
@@ -131,13 +178,35 @@ func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycle
 	for i := range sys.queues {
 		sys.queues[i] = &saQueue{}
 	}
+	sys.qstats = make([]QueueStats, numQueues)
+	if ob != nil && ob.Trace != nil {
+		sys.saLane = ob.Trace.Lane(ob.Pid, 0)
+		ob.Trace.ThreadName(ob.Pid, 0, "sa-queues")
+		sys.qnames = make([]string, numQueues)
+		for i := range sys.qnames {
+			sys.qnames[i] = fmt.Sprintf("q%d", i)
+		}
+		sys.coreLanes = make([]*obs.Lane, len(sys.cores))
+		for i := range sys.cores {
+			sys.coreLanes[i] = ob.Trace.Lane(ob.Pid, i+1)
+			ob.Trace.ThreadName(ob.Pid, i+1, fmt.Sprintf("core%d", i))
+		}
+	}
+
+	// stallStart[i] is the cycle core i's current issue-stall episode
+	// began, or -1 when issuing; consecutive stall cycles coalesce into
+	// one trace span per episode.
+	stallStart := make([]int64, len(sys.cores))
+	for i := range stallStart {
+		stallStart[i] = -1
+	}
 
 	var cycle, lastProgress int64
 	for {
 		saPortsUsed := 0
 		allDone := true
 		anyIssued := false
-		for _, c := range sys.cores {
+		for ci, c := range sys.cores {
 			if c.done {
 				continue
 			}
@@ -145,8 +214,15 @@ func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycle
 			issued := sys.stepCore(c, cycle, &saPortsUsed)
 			if issued > 0 {
 				anyIssued = true
+				if stallStart[ci] >= 0 {
+					sys.coreLanes[ci].SpanAt("stall", "sim", stallStart[ci], cycle-stallStart[ci])
+					stallStart[ci] = -1
+				}
 			} else {
 				c.stats.IssueStallCycles++
+				if sys.coreLanes != nil && stallStart[ci] < 0 {
+					stallStart[ci] = cycle
+				}
 			}
 		}
 		if sys.err != nil {
@@ -167,11 +243,37 @@ func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycle
 		}
 	}
 
-	res := &Result{Cycles: cycle, Mem: mem}
+	// Close any stall episode still open at termination (defensive: a
+	// core only finishes by issuing Ret, which closes its episode above).
+	for i, st := range stallStart {
+		if st >= 0 {
+			sys.coreLanes[i].SpanAt("stall", "sim", st, cycle-st)
+		}
+	}
+
+	res := &Result{Cycles: cycle, PerQueue: sys.qstats, Mem: mem}
 	for _, c := range sys.cores {
 		res.PerCore = append(res.PerCore, c.stats)
 		if c.outs != nil {
 			res.LiveOuts = c.outs
+		}
+	}
+	if ob != nil && ob.Metrics != nil {
+		m := ob.Metrics
+		m.Gauge("cycles").Set(cycle)
+		for i, c := range sys.cores {
+			cs := m.Child(fmt.Sprintf("core%d", i))
+			cs.Counter("instrs").Add(c.stats.Instrs)
+			cs.Counter("stall_cycles").Add(c.stats.IssueStallCycles)
+			cs.Counter("produces").Add(c.stats.Produces)
+			cs.Counter("consumes").Add(c.stats.Consumes)
+			cs.Counter("mispreds").Add(c.stats.Mispreds)
+		}
+		for q, st := range sys.qstats {
+			qs := m.Child(fmt.Sprintf("queue.%d", q))
+			qs.Counter("produced").Add(st.Produced)
+			qs.Counter("consumed").Add(st.Consumed)
+			qs.Gauge("hwm").SetMax(st.HighWater)
 		}
 	}
 	return res, nil
