@@ -19,8 +19,18 @@
 // settings. -timeline additionally records per-cycle simulator lanes
 // (bounded by -trace-limit).
 //
+// Robustness: -chaos matrix runs the detector-coverage matrix (every
+// fault class × workload × partitioner cell through the differential
+// oracle) and exits nonzero if any cell misses its contract; -chaos with a
+// fault class name arms that fault for the figure runs, exercising the
+// graceful-degradation chain (fallback rows are annotated in the figures).
+// -chaos-seed makes the fault schedule deterministic: same seed, same
+// schedule, byte-identical reports. -fail-fast disables the degradation
+// chain so the first stage failure aborts instead of falling back.
+//
 //	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...] [-j N]
 //	            [-trace out.json] [-metrics out.json] [-timeline] [-trace-limit N]
+//	            [-chaos matrix|<fault-class>] [-chaos-seed N] [-fail-fast]
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -48,6 +59,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
 	timeline := flag.Bool("timeline", false, "record per-cycle simulator/interpreter lanes in the trace (large)")
 	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
+	chaos := flag.String("chaos", "", "\"matrix\" runs the detector-coverage matrix; a fault class name injects that fault into the figure runs")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed (same seed = same schedule)")
+	failFast := flag.Bool("fail-fast", false, "disable the graceful-degradation chain: abort on the first stage failure")
 	flag.Parse()
 
 	switch *fig {
@@ -85,7 +99,33 @@ func main() {
 			o.Metrics = obs.NewRegistry()
 		}
 	}
-	engine := exp.NewEngine(exp.EngineOptions{Jobs: *jobs, Obs: o})
+	eopts := exp.EngineOptions{Jobs: *jobs, Obs: o, Degrade: !*failFast}
+	if *chaos != "" && *chaos != "matrix" {
+		cls, err := fault.ParseClass(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v (or \"matrix\")\n", err)
+			os.Exit(2)
+		}
+		if cls == fault.MisplacePlan {
+			fmt.Fprintln(os.Stderr, "experiments: misplan is a compile-time fault; use -chaos matrix to exercise it")
+			os.Exit(2)
+		}
+		eopts.Chaos = &fault.Spec{Class: cls, Seed: *chaosSeed}
+	}
+	engine := exp.NewEngine(eopts)
+
+	if *chaos == "matrix" {
+		cells, err := engine.CoverageMatrix(ctx, ws, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exp.RenderChaos(os.Stdout, *chaosSeed, cells)
+		if !exp.ChaosOK(cells) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	timed := func(name string, f func() error) {
@@ -131,6 +171,11 @@ func main() {
 			return err
 		})
 		exp.RenderFig8(os.Stdout, rows)
+	}
+
+	if st := engine.Stats(); st.FaultsInjected > 0 || st.Fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d faults injected, %d fallbacks taken\n",
+			st.FaultsInjected, st.Fallbacks)
 	}
 
 	if o != nil {

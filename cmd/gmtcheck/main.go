@@ -11,10 +11,17 @@
 //	gmtcheck -schedule adversarial    restrict the scheduling policy
 //	gmtcheck -workload ks             check one benchmark workload
 //	gmtcheck -workload all            check every benchmark workload
+//	gmtcheck -chaos drop-produce      verify the oracle detects injected faults
 //
 // On failure it prints a reproducer in the corpus format (see
 // internal/oracle/testdata/corpus) and exits nonzero; with -shrink the
 // reproducer is first minimized.
+//
+// With -chaos, a deterministic fault schedule (seeded by -chaos-seed) is
+// injected into every multi-threaded run and the pass/fail sense inverts
+// into a detector check: a destructive fault the oracle does NOT report is
+// the failure. Benign classes (stall-thread, shrink-queue) must instead be
+// tolerated. -fail-fast stops at the first unexpected program.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/oracle"
 	"repro/internal/workloads"
 )
@@ -35,11 +43,30 @@ func main() {
 	shrink := flag.Bool("shrink", false, "minimize the first failing program before printing it")
 	workload := flag.String("workload", "", "check a benchmark workload instead of random programs (a name, or 'all')")
 	nosim := flag.Bool("nosim", false, "skip the cycle-level simulator cross-check")
+	chaos := flag.String("chaos", "", "inject this fault class into every run and check the oracle detects it")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed (same seed = same schedule)")
+	failFast := flag.Bool("fail-fast", false, "stop at the first failing (or, with -chaos, undetected) program")
 	flag.Parse()
 
 	opts := oracle.Options{Seed: *seed, SkipSim: *nosim}
 	if *schedule != "" {
 		opts.Schedules = []oracle.SchedSpec{{Name: *schedule, Seed: *seed}}
+	}
+	var chaosClass fault.Class
+	if *chaos != "" {
+		cls, err := fault.ParseClass(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if cls == fault.MisplacePlan {
+			fmt.Fprintln(os.Stderr, "gmtcheck: misplan is a compile-time fault; use experiments -chaos matrix to exercise it")
+			os.Exit(2)
+		}
+		chaosClass = cls
+		opts.Inject = &fault.Spec{Class: cls, Seed: *chaosSeed}
+		// Injected deadlocks should fail fast, not burn the sim budget.
+		opts.SimStallLimit = 50_000
 	}
 
 	if *workload != "" {
@@ -48,6 +75,7 @@ func main() {
 
 	fail := 0
 	var runs, programs int
+	var injected int64
 	for i := 0; i < *n; i++ {
 		s := *seed + int64(i)
 		c := oracle.Generate(s)
@@ -58,6 +86,18 @@ func main() {
 		}
 		runs += rep.Runs
 		programs += rep.Programs
+		injected += rep.Injected
+		if chaosClass != "" {
+			if !chaosOK(chaosClass, rep) {
+				fail++
+				fmt.Printf("UNEXPECTED %s: class %s injected %d faults, failures %v\n",
+					c.Name, chaosClass, rep.Injected, rep.Failures)
+				if *failFast {
+					break
+				}
+			}
+			continue
+		}
 		if rep.Ok() {
 			continue
 		}
@@ -66,19 +106,41 @@ func main() {
 		if *shrink {
 			kind := rep.Failures[0].Kind
 			fmt.Printf("shrinking against %q...\n", kind)
-			c = oracle.Shrink(c, oracle.StillFails(opts, kind), 0)
+			min, err := oracle.Shrink(c, oracle.StillFails(opts, kind), 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gmtcheck: shrink stopped early: %v\n", err)
+			}
+			c = min
 			c.Name = fmt.Sprintf("seed=%d (shrunk)", s)
 		}
 		fmt.Printf("reproducer:\n%s", oracle.FormatCase(c))
-		if *shrink {
-			break // one minimized reproducer per invocation
+		if *shrink || *failFast {
+			break // one reproducer per invocation
 		}
 	}
-	fmt.Printf("checked %d programs (%d compiled configurations, %d executor runs): %d failing\n",
-		*n, programs, runs, fail)
+	if chaosClass != "" {
+		fmt.Printf("chaos %s seed %d: checked %d programs (%d runs, %d faults injected): %d undetected\n",
+			chaosClass, *chaosSeed, *n, runs, injected, fail)
+	} else {
+		fmt.Printf("checked %d programs (%d compiled configurations, %d executor runs): %d failing\n",
+			*n, programs, runs, fail)
+	}
 	if fail > 0 {
 		os.Exit(1)
 	}
+}
+
+// chaosOK applies the per-class detector contract to one chaos-armed
+// report: destructive faults must be detected (or never fire), benign
+// faults must be tolerated.
+func chaosOK(cls fault.Class, rep *oracle.Report) bool {
+	if rep.Injected == 0 {
+		return rep.Ok() // vacuous schedule: the run must simply pass
+	}
+	if cls.Benign() {
+		return rep.Ok()
+	}
+	return !rep.Ok()
 }
 
 // checkWorkloads runs the oracle experiment over one or all benchmark

@@ -87,7 +87,7 @@ func TestDominatorsDiamond(t *testing.T) {
 
 func TestPostDominatorsDiamond(t *testing.T) {
 	f := buildDiamond()
-	pdom := PostDominators(f)
+	pdom := MustPostDominators(f)
 	entry := f.Entry()
 	then := mustBlock(t, f, "then")
 	join := mustBlock(t, f, "join")
@@ -108,7 +108,7 @@ func TestPostDominatorsDiamond(t *testing.T) {
 
 func TestControlDepsDiamond(t *testing.T) {
 	f := buildDiamond()
-	g := ControlDeps(f, nil)
+	g := MustControlDeps(f, nil)
 	entry := f.Entry()
 	then := mustBlock(t, f, "then")
 	els := mustBlock(t, f, "else")
@@ -133,7 +133,7 @@ func TestControlDepsDiamond(t *testing.T) {
 
 func TestControlDepsSelfLoop(t *testing.T) {
 	f := buildLoopNest()
-	g := ControlDeps(f, nil)
+	g := MustControlDeps(f, nil)
 	inner := mustBlock(t, f, "inner")
 	latch := mustBlock(t, f, "latch")
 
@@ -347,4 +347,26 @@ func TestReversePostorderStartsAtEntryAndCoversCFG(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestPostDominatorsNoRet: a function with no unique Ret block (one
+// ir.Verify would reject) yields an error, not a crash — and ControlDeps
+// propagates it.
+func TestPostDominatorsNoRet(t *testing.T) {
+	f := ir.NewFunction("noret")
+	e := f.NewBlock("entry")
+	e.Append(f.NewInstr(ir.Jump, ir.NoReg))
+	e.SetSuccs(e)
+	if _, err := PostDominators(f); err == nil {
+		t.Error("PostDominators accepted a function with no Ret")
+	}
+	if _, err := ControlDeps(f, nil); err == nil {
+		t.Error("ControlDeps accepted a function with no Ret")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPostDominators did not panic on a ret-less function")
+		}
+	}()
+	MustPostDominators(f)
 }

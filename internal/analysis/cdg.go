@@ -20,10 +20,15 @@ type CDG struct {
 }
 
 // ControlDeps computes the CDG of f using the given post-dominator tree
-// (pass nil to compute one).
-func ControlDeps(f *ir.Function, pdom *DomTree) *CDG {
+// (pass nil to compute one). Computing the tree fails on a function with no
+// unique Ret block; see PostDominators.
+func ControlDeps(f *ir.Function, pdom *DomTree) (*CDG, error) {
 	if pdom == nil {
-		pdom = PostDominators(f)
+		var err error
+		pdom, err = PostDominators(f)
+		if err != nil {
+			return nil, err
+		}
 	}
 	g := &CDG{fn: f, deps: make([][]CtrlDep, len(f.Blocks))}
 	for _, u := range f.Blocks {
@@ -41,6 +46,16 @@ func ControlDeps(f *ir.Function, pdom *DomTree) *CDG {
 				g.deps[w.ID] = append(g.deps[w.ID], CtrlDep{Branch: u, Edge: ei})
 			}
 		}
+	}
+	return g, nil
+}
+
+// MustControlDeps is ControlDeps for callers holding a verified function,
+// where a missing Ret is a programming error.
+func MustControlDeps(f *ir.Function, pdom *DomTree) *CDG {
+	g, err := ControlDeps(f, pdom)
+	if err != nil {
+		panic(err)
 	}
 	return g
 }

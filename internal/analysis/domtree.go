@@ -26,31 +26,36 @@ type DomTree struct {
 // Dominators computes the dominator tree of f rooted at the entry block,
 // using the Cooper–Harvey–Kennedy iterative algorithm.
 func Dominators(f *ir.Function) *DomTree {
-	return buildDomTree(f, false)
+	return buildDomTree(f, false, f.Entry().ID)
 }
 
 // PostDominators computes the post-dominator tree of f rooted at the block
 // containing the Ret instruction. All blocks of a verified function reach
-// Ret, so the tree covers the whole CFG. PostDominators panics if f has no
-// unique Ret block.
-func PostDominators(f *ir.Function) *DomTree {
-	return buildDomTree(f, true)
+// Ret, so the tree covers the whole CFG. A function without a unique Ret
+// block (one that ir.Verify would reject) yields an error.
+func PostDominators(f *ir.Function) (*DomTree, error) {
+	ret := f.RetInstr()
+	if ret == nil {
+		return nil, fmt.Errorf("analysis: %s has no unique Ret block", f.Name)
+	}
+	return buildDomTree(f, true, ret.Block().ID), nil
 }
 
-func buildDomTree(f *ir.Function, post bool) *DomTree {
+// MustPostDominators is PostDominators for callers holding a verified
+// function, where a missing Ret is a programming error.
+func MustPostDominators(f *ir.Function) *DomTree {
+	t, err := PostDominators(f)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func buildDomTree(f *ir.Function, post bool, root int) *DomTree {
 	n := len(f.Blocks)
-	t := &DomTree{fn: f, post: post, idom: make([]int, n)}
+	t := &DomTree{fn: f, post: post, root: root, idom: make([]int, n)}
 	for i := range t.idom {
 		t.idom[i] = -1
-	}
-	if post {
-		ret := f.RetInstr()
-		if ret == nil {
-			panic(fmt.Sprintf("analysis: %s has no unique Ret block", f.Name))
-		}
-		t.root = ret.Block().ID
-	} else {
-		t.root = f.Entry().ID
 	}
 
 	// Reverse postorder over the traversal direction.

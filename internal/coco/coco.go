@@ -94,9 +94,13 @@ func (p *planner) blockPenaltyFor(ts, td int) func(*ir.Block) int64 {
 func Plan(f *ir.Function, g *pdg.Graph, assign map[*ir.Instr]int, numThreads int,
 	prof *ir.Profile, opts Options) (*mtcg.Plan, error) {
 
+	cdg, err := analysis.ControlDeps(f, nil)
+	if err != nil {
+		return nil, err
+	}
 	p := &planner{
 		f: f, g: g, assign: assign, nThreads: numThreads, prof: prof, opts: opts,
-		cdg: analysis.ControlDeps(f, nil),
+		cdg: cdg,
 	}
 	rd := dataflow.ComputeReachingDefs(f)
 	p.chains = rd.Chains(dataflow.AllUses)
@@ -415,7 +419,7 @@ func (p *planner) cutRegister(r ir.Reg, ts, td int,
 		safeTab[b.ID] = safety.BlockSafe(b)
 	}
 
-	fg := newFlowGraph(p.f, arcCosts{
+	fg, err := newFlowGraph(p.f, arcCosts{
 		prof:         p.prof,
 		liveAt:       func(pt mtcg.Point) bool { return liveTab[pt.Block.ID][pt.Index].Has(r) },
 		safeAt:       func(pt mtcg.Point) bool { return safeTab[pt.Block.ID][pt.Index].Has(r) },
@@ -423,6 +427,9 @@ func (p *planner) cutRegister(r ir.Reg, ts, td int,
 		penalty:      func(b *ir.Block) int64 { return p.penaltyFor(td, b) },
 		blockPenalty: p.blockPenaltyFor(ts, td),
 	})
+	if err != nil {
+		return nil, err
+	}
 	p.f.Instrs(func(in *ir.Instr) {
 		if in.Defs() == r && p.assign[in] == ts {
 			fg.addSource(in)
@@ -447,12 +454,12 @@ func (p *planner) cutRegister(r ir.Reg, ts, td int,
 	}
 	// Source-side cut: the earliest placement, pipelining values to the
 	// consumer as soon as possible.
-	return fg.cutPoints(fg.g.MinCutSourceSide(fg.s)), nil
+	return fg.cutPoints(fg.g.MinCutSourceSide(fg.s))
 }
 
 // cutMemory solves the multi source–sink problem of Section 3.1.3.
 func (p *planner) cutMemory(ts, td int, arcs []*pdg.Arc, deps map[depKey][]mtcg.Point) error {
-	build := func() *flowGraph {
+	build := func() (*flowGraph, error) {
 		return newFlowGraph(p.f, arcCosts{
 			prof:         p.prof,
 			relevantSrc:  func(b *ir.Block) bool { return p.pointRelevantTo(ts, b) },
@@ -473,7 +480,10 @@ func (p *planner) cutMemory(ts, td int, arcs []*pdg.Arc, deps map[depKey][]mtcg.
 		var bestPts []mtcg.Point
 		bestCost := int64(-1)
 		for _, order := range [][]*pdg.Arc{reversed, arcs} {
-			fg := build()
+			fg, err := build()
+			if err != nil {
+				return err
+			}
 			var pairs []mincut.Pair
 			for _, a := range order {
 				pairs = append(pairs, mincut.Pair{
@@ -486,7 +496,10 @@ func (p *planner) cutMemory(ts, td int, arcs []*pdg.Arc, deps map[depKey][]mtcg.
 				return fmt.Errorf("coco: no finite memory multicut from thread %d to %d in %s",
 					ts, td, p.f.Name)
 			}
-			pts := fg.cutPoints(res.Arcs)
+			pts, err := fg.cutPoints(res.Arcs)
+			if err != nil {
+				return err
+			}
 			if bestCost < 0 || res.Cost < bestCost ||
 				(res.Cost == bestCost && len(pts) < len(bestPts)) {
 				bestCost, bestPts = res.Cost, pts
@@ -499,11 +512,17 @@ func (p *planner) cutMemory(ts, td int, arcs []*pdg.Arc, deps map[depKey][]mtcg.
 
 	// Ablation: every memory dependence synchronized independently.
 	for i, a := range arcs {
-		fg := build()
+		fg, err := build()
+		if err != nil {
+			return err
+		}
 		if fg.g.MaxFlow(fg.instrNode[a.From.ID], fg.instrNode[a.To.ID]) >= mincut.Inf {
 			return fmt.Errorf("coco: no finite memory cut for %v in %s", a, p.f.Name)
 		}
-		pts := fg.cutPoints(fg.g.MinCutSinkSide(fg.instrNode[a.To.ID]))
+		pts, err := fg.cutPoints(fg.g.MinCutSinkSide(fg.instrNode[a.To.ID]))
+		if err != nil {
+			return err
+		}
 		deps[depKey{pdg.KindMem, ir.NoReg, ts, td, i + 1}] = pts
 		p.markPointsRelevant(td, pts)
 	}

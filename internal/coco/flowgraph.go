@@ -59,8 +59,10 @@ func (fg *flowGraph) nodeEntry(b *ir.Block) int { return b.ID }
 
 // newFlowGraph builds the shared skeleton: every feasible point becomes an
 // arc with its profile weight (plus penalties), or Inf when a property
-// forbids cutting there.
-func newFlowGraph(f *ir.Function, costs arcCosts) *flowGraph {
+// forbids cutting there. It fails on a function whose critical edges were
+// not split — a malformed input, not a planner bug — so callers can surface
+// the bad function instead of crashing.
+func newFlowGraph(f *ir.Function, costs arcCosts) (*flowGraph, error) {
 	nBlocks := len(f.Blocks)
 	nInstrs := 0
 	instrNode := make([]int, f.NumInstrIDs())
@@ -123,14 +125,15 @@ func newFlowGraph(f *ir.Function, costs arcCosts) *flowGraph {
 				pt = mtcg.Point{Block: b, Index: len(b.Instrs) - 1}
 			} else {
 				if len(s.Preds) != 1 {
-					panic(fmt.Sprintf("coco: critical edge %s->%s not split", b.Name, s.Name))
+					return nil, fmt.Errorf("coco: critical edge %s->%s in %s not split",
+						b.Name, s.Name, f.Name)
 				}
 				pt = mtcg.Point{Block: s, Index: 0}
 			}
 			addPoint(prev, fg.nodeEntry(s), pt, costs.prof.EdgeWeight(b, s))
 		}
 	}
-	return fg
+	return fg, nil
 }
 
 // addSource connects S to an instruction node with infinite capacity.
@@ -144,19 +147,21 @@ func (fg *flowGraph) addSink(in *ir.Instr) {
 }
 
 // cutPoints converts cut arcs back to program points, deduplicated in
-// deterministic order.
-func (fg *flowGraph) cutPoints(arcs []mincut.ArcID) []mtcg.Point {
+// deterministic order. A cut containing a special (source/sink/infinite)
+// arc means the min-cut solver returned an unusable cut; report it rather
+// than crash mid-optimization.
+func (fg *flowGraph) cutPoints(arcs []mincut.ArcID) ([]mtcg.Point, error) {
 	seen := map[mtcg.Point]bool{}
 	var out []mtcg.Point
 	for _, id := range arcs {
 		pt, ok := fg.points[id]
 		if !ok {
-			panic("coco: cut includes a special arc")
+			return nil, fmt.Errorf("coco: cut in %s includes a special arc", fg.fn.Name)
 		}
 		if !seen[pt] {
 			seen[pt] = true
 			out = append(out, pt)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/coco"
+	"repro/internal/fault"
+	"repro/internal/interp"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -31,6 +33,18 @@ type EngineOptions struct {
 	// phase is recorded exactly once per engine regardless of Jobs, so
 	// the written trace is identical at any worker-pool size.
 	Obs *Obs
+	// Chaos, when non-nil, arms deterministic fault injection on every
+	// measurement run (a fresh injector per run, so the fault schedule is
+	// identical at any Jobs setting). Injections are counted in Stats and
+	// the "fault.injected" metrics counter.
+	Chaos *fault.Spec
+	// Degrade enables the graceful-degradation chain: a matrix cell whose
+	// pipeline or measurement fails falls back requested partitioner →
+	// alternate partitioner → single-threaded execution instead of
+	// aborting the whole experiment. Fallbacks are recorded in the row's
+	// Fallback field, in Stats, and in the "exp.fallbacks" counter.
+	// Context cancellation is never absorbed.
+	Degrade bool
 }
 
 // Engine runs the workload × partitioner experiment matrix concurrently,
@@ -49,13 +63,17 @@ type EngineOptions struct {
 // a cancellation that landed mid-build — discard an engine whose run was
 // cancelled rather than reusing it.
 type Engine struct {
-	jobs   int
-	budget budget.Budget
-	opts   coco.Options
-	obs    *Obs
+	jobs    int
+	budget  budget.Budget
+	opts    coco.Options
+	obs     *Obs
+	chaos   *fault.Spec
+	degrade bool
 
-	profileRuns atomic.Int64
-	pdgBuilds   atomic.Int64
+	profileRuns    atomic.Int64
+	pdgBuilds      atomic.Int64
+	fallbacks      atomic.Int64
+	faultsInjected atomic.Int64
 
 	mu        sync.Mutex
 	artifacts map[string]*memo[*Artifact]
@@ -92,6 +110,8 @@ func NewEngine(o EngineOptions) *Engine {
 		budget:    o.Budget.OrElse(budget.Experiments()),
 		opts:      opts,
 		obs:       o.Obs,
+		chaos:     o.Chaos,
+		degrade:   o.Degrade,
 		artifacts: map[string]*memo[*Artifact]{},
 		pipelines: map[string]*memo[*Pipeline]{},
 		stCycles:  map[stKey]*memo[int64]{},
@@ -104,11 +124,41 @@ func NewEngine(o EngineOptions) *Engine {
 type EngineStats struct {
 	ProfileRuns int64 // train-input interpreter passes
 	PDGBuilds   int64 // PDG constructions
+	// Fallbacks counts degradation-chain steps taken (stages fallen back
+	// from); FaultsInjected counts injected faults across all runs.
+	Fallbacks      int64
+	FaultsInjected int64
 }
 
 // Stats returns the engine's work counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{ProfileRuns: e.profileRuns.Load(), PDGBuilds: e.pdgBuilds.Load()}
+	return EngineStats{
+		ProfileRuns:    e.profileRuns.Load(),
+		PDGBuilds:      e.pdgBuilds.Load(),
+		Fallbacks:      e.fallbacks.Load(),
+		FaultsInjected: e.faultsInjected.Load(),
+	}
+}
+
+// noteFallback records one degradation step in the engine stats and the
+// "exp.fallbacks" metrics counter.
+func (e *Engine) noteFallback() {
+	e.fallbacks.Add(1)
+	if e.obs != nil && e.obs.Metrics != nil {
+		e.obs.Metrics.Scope("exp").Counter("fallbacks").Inc()
+	}
+}
+
+// noteInjected records injected faults in the engine stats and the
+// "fault.injected" metrics counter.
+func (e *Engine) noteInjected(n int64) {
+	if n == 0 {
+		return
+	}
+	e.faultsInjected.Add(n)
+	if e.obs != nil && e.obs.Metrics != nil {
+		e.obs.Metrics.Scope("fault").Counter("injected").Add(n)
+	}
 }
 
 func (e *Engine) artifactSlot(name string) *memo[*Artifact] {
@@ -197,27 +247,18 @@ func matrix(ws []*workloads.Workload) []cell {
 // CommExperiment produces the data behind Figures 1 and 7 for all
 // workloads under both partitioners, fanning the matrix out over the
 // engine's worker pool. Rows are in the serial order regardless of Jobs.
+// With Degrade enabled, a failing cell falls back (alternate partitioner,
+// then single-threaded) instead of aborting the matrix; the row's Fallback
+// field records what happened.
 func (e *Engine) CommExperiment(ctx context.Context, ws []*workloads.Workload) ([]CommRow, error) {
 	cells := matrix(ws)
 	rows := make([]CommRow, len(cells))
 	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
-		c := cells[i]
-		p, err := e.Pipeline(ctx, c.w, c.part)
+		row, err := e.commCell(ctx, cells[i])
 		if err != nil {
 			return err
 		}
-		naive, err := p.measureComm(ctx, p.Naive)
-		if err != nil {
-			return err
-		}
-		opt, err := p.measureComm(ctx, p.Coco)
-		if err != nil {
-			return err
-		}
-		rows[i] = CommRow{
-			Workload: c.w.Name, Partitioner: c.part.Name(),
-			Naive: naive, Coco: opt,
-		}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -226,39 +267,150 @@ func (e *Engine) CommExperiment(ctx context.Context, ws []*workloads.Workload) (
 	return rows, nil
 }
 
+// commCell measures one matrix cell, walking the degradation chain when
+// enabled: requested partitioner → alternate partitioner → single-threaded.
+func (e *Engine) commCell(ctx context.Context, c cell) (CommRow, error) {
+	row := CommRow{Workload: c.w.Name, Partitioner: c.part.Name()}
+	attempts := []partition.Partitioner{c.part}
+	if e.degrade {
+		attempts = append(attempts, fallbackFor(c.part)...)
+	}
+	for _, part := range attempts {
+		if part == nil { // last resort: the unpartitioned program
+			st, err := e.singleThreadedComm(ctx, c.w)
+			if err != nil {
+				return row, err
+			}
+			row.Naive, row.Coco, row.Fallback = st, st, FallbackSingle
+			return row, nil
+		}
+		naive, opt, serr := e.measureCommAttempt(ctx, c.w, part)
+		if serr == nil {
+			row.Naive, row.Coco = naive, opt
+			if part.Name() != c.part.Name() {
+				row.Fallback = part.Name()
+			}
+			return row, nil
+		}
+		if !e.degrade || isCtxErr(serr) {
+			return row, serr
+		}
+		e.noteFallback()
+	}
+	return row, fmt.Errorf("exp: %s/%s: degradation chain exhausted", c.w.Name, c.part.Name())
+}
+
+// measureCommAttempt builds and measures one (workload, partitioner)
+// pipeline, converting any failure — including a panic — into a structured
+// StageError.
+func (e *Engine) measureCommAttempt(ctx context.Context, w *workloads.Workload,
+	part partition.Partitioner) (naive, opt interp.CommStats, serr *StageError) {
+	defer func() {
+		if v := recover(); v != nil {
+			serr = recovered("measure", w, part, v)
+		}
+	}()
+	p, err := e.Pipeline(ctx, w, part)
+	if err != nil {
+		return naive, opt, stageError("pipeline", w, part, err)
+	}
+	n, injected, err := p.measureCommInjected(ctx, p.Naive, e.chaos)
+	e.noteInjected(injected)
+	if err != nil {
+		return naive, opt, stageError("measure", w, part, err)
+	}
+	o, injected, err := p.measureCommInjected(ctx, p.Coco, e.chaos)
+	e.noteInjected(injected)
+	if err != nil {
+		return naive, opt, stageError("measure", w, part, err)
+	}
+	return n, o, nil
+}
+
 // SpeedupExperiment produces Figure 8's data on the given machine, fanning
 // the matrix out over the engine's worker pool. Single-threaded baselines
-// are memoized per workload, as in the serial harness.
+// are memoized per workload, as in the serial harness. With Degrade
+// enabled, a failing cell falls back (alternate partitioner, then the
+// single-threaded baseline itself — speedup 1.0x) instead of aborting.
 func (e *Engine) SpeedupExperiment(ctx context.Context, cfg sim.Config, ws []*workloads.Workload) ([]SpeedupRow, error) {
 	cells := matrix(ws)
 	rows := make([]SpeedupRow, len(cells))
 	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
-		c := cells[i]
-		st, err := e.SingleThreadedCycles(ctx, cfg, c.w)
+		row, err := e.speedupCell(ctx, cfg, cells[i])
 		if err != nil {
 			return err
 		}
-		p, err := e.Pipeline(ctx, c.w, c.part)
-		if err != nil {
-			return err
-		}
-		mtCfg := p.Machine(cfg)
-		naive, err := p.MeasureCycles(mtCfg, p.Naive)
-		if err != nil {
-			return err
-		}
-		opt, err := p.MeasureCycles(mtCfg, p.Coco)
-		if err != nil {
-			return err
-		}
-		rows[i] = SpeedupRow{
-			Workload: c.w.Name, Partitioner: c.part.Name(),
-			STCycles: st, NaiveCycles: naive, CocoCycles: opt,
-		}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exp: speedup experiment: %w", err)
 	}
 	return rows, nil
+}
+
+// speedupCell simulates one matrix cell, walking the degradation chain
+// when enabled.
+func (e *Engine) speedupCell(ctx context.Context, cfg sim.Config, c cell) (SpeedupRow, error) {
+	row := SpeedupRow{Workload: c.w.Name, Partitioner: c.part.Name()}
+	st, err := e.SingleThreadedCycles(ctx, cfg, c.w)
+	if err != nil {
+		return row, err
+	}
+	row.STCycles = st
+	attempts := []partition.Partitioner{c.part}
+	if e.degrade {
+		attempts = append(attempts, fallbackFor(c.part)...)
+	}
+	for _, part := range attempts {
+		if part == nil { // last resort: the single-threaded baseline itself
+			row.NaiveCycles, row.CocoCycles, row.Fallback = st, st, FallbackSingle
+			return row, nil
+		}
+		naive, opt, serr := e.measureCyclesAttempt(ctx, cfg, c.w, part)
+		if serr == nil {
+			row.NaiveCycles, row.CocoCycles = naive, opt
+			if part.Name() != c.part.Name() {
+				row.Fallback = part.Name()
+			}
+			return row, nil
+		}
+		if !e.degrade || isCtxErr(serr) {
+			return row, serr
+		}
+		e.noteFallback()
+	}
+	return row, fmt.Errorf("exp: %s/%s: degradation chain exhausted", c.w.Name, c.part.Name())
+}
+
+// measureCyclesAttempt builds and simulates one (workload, partitioner)
+// pipeline, converting any failure — including a panic — into a structured
+// StageError. With chaos armed the no-progress watchdog is lowered so an
+// injected deadlock fails in bounded time.
+func (e *Engine) measureCyclesAttempt(ctx context.Context, cfg sim.Config, w *workloads.Workload,
+	part partition.Partitioner) (naive, opt int64, serr *StageError) {
+	defer func() {
+		if v := recover(); v != nil {
+			serr = recovered("simulate", w, part, v)
+		}
+	}()
+	p, err := e.Pipeline(ctx, w, part)
+	if err != nil {
+		return naive, opt, stageError("pipeline", w, part, err)
+	}
+	mtCfg := p.Machine(cfg)
+	if e.chaos != nil {
+		mtCfg.StallLimit = 100_000
+	}
+	n, injected, err := p.measureCyclesInjected(mtCfg, p.Naive, e.chaos)
+	e.noteInjected(injected)
+	if err != nil {
+		return naive, opt, stageError("simulate", w, part, err)
+	}
+	o, injected, err := p.measureCyclesInjected(mtCfg, p.Coco, e.chaos)
+	e.noteInjected(injected)
+	if err != nil {
+		return naive, opt, stageError("simulate", w, part, err)
+	}
+	return n, o, nil
 }

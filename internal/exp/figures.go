@@ -19,6 +19,11 @@ type CommRow struct {
 	Partitioner string
 	Naive       interp.CommStats
 	Coco        interp.CommStats
+	// Fallback records what the degradation chain substituted when the
+	// requested configuration failed: the alternate partitioner's name,
+	// FallbackSingle for single-threaded execution, or "" when the cell
+	// ran as requested.
+	Fallback string
 }
 
 // CommPct returns the percentage of communication instructions under naive
@@ -64,6 +69,9 @@ type SpeedupRow struct {
 	STCycles    int64
 	NaiveCycles int64
 	CocoCycles  int64
+	// Fallback records what the degradation chain substituted (see
+	// CommRow.Fallback); "" when the cell ran as requested.
+	Fallback string
 }
 
 // NaiveSpeedup returns the MTCG-only speedup over single-threaded.
@@ -81,6 +89,15 @@ func (r SpeedupRow) CocoSpeedup() float64 {
 // worker, fresh caches).
 func SpeedupExperiment(cfg sim.Config, ws []*workloads.Workload) ([]SpeedupRow, error) {
 	return NewEngine(EngineOptions{Jobs: 1}).SpeedupExperiment(context.Background(), cfg, ws)
+}
+
+// fallbackNote annotates a figure row that the degradation chain rescued;
+// rows that ran as requested render exactly as before.
+func fallbackNote(fb string) string {
+	if fb == "" {
+		return ""
+	}
+	return "  [fallback: " + fb + "]"
 }
 
 // GeoMean returns the geometric mean of a positive series.
@@ -118,7 +135,8 @@ func RenderFig1(w io.Writer, rows []CommRow, partitioner string) {
 			continue
 		}
 		comp := r.Naive.Total() - r.Naive.Comm()
-		fmt.Fprintf(w, "%-14s %14d %14d %8.1f%%\n", r.Workload, comp, r.Naive.Comm(), r.CommPct())
+		fmt.Fprintf(w, "%-14s %14d %14d %8.1f%%%s\n",
+			r.Workload, comp, r.Naive.Comm(), r.CommPct(), fallbackNote(r.Fallback))
 		pcts = append(pcts, r.CommPct())
 	}
 	fmt.Fprintf(w, "%-14s %30s %8.1f%%\n", "average", "", ArithMean(pcts))
@@ -159,8 +177,8 @@ func RenderFig8(w io.Writer, rows []SpeedupRow) {
 	gains := map[string][]float64{}
 	for _, r := range rows {
 		gain := 100 * (r.CocoSpeedup()/r.NaiveSpeedup() - 1)
-		fmt.Fprintf(w, "%-14s %-9s %11.2fx %11.2fx %+9.1f%%\n",
-			r.Workload, r.Partitioner, r.NaiveSpeedup(), r.CocoSpeedup(), gain)
+		fmt.Fprintf(w, "%-14s %-9s %11.2fx %11.2fx %+9.1f%%%s\n",
+			r.Workload, r.Partitioner, r.NaiveSpeedup(), r.CocoSpeedup(), gain, fallbackNote(r.Fallback))
 		perPart[r.Partitioner] = append(perPart[r.Partitioner], r.CocoSpeedup())
 		gains[r.Partitioner] = append(gains[r.Partitioner], gain)
 	}

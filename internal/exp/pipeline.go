@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/coco"
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mtcg"
@@ -191,6 +192,16 @@ func (p *Pipeline) MeasureComm(prog *mtcg.Program) (interp.CommStats, error) {
 }
 
 func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.CommStats, error) {
+	st, _, err := p.measureCommInjected(ctx, prog, nil)
+	return st, err
+}
+
+// measureCommInjected is measureComm with an optional armed fault spec: a
+// fresh injector is built per run (same spec ⇒ same deterministic fault
+// schedule) and the number of faults actually injected is returned even
+// when the run fails — a chaos run that dies of an injected deadlock still
+// reports its injections.
+func (p *Pipeline) measureCommInjected(ctx context.Context, prog *mtcg.Program, spec *fault.Spec) (interp.CommStats, int64, error) {
 	label, bit := p.progLabel(prog)
 	in := p.W.Ref()
 	cfg := interp.MTConfig{
@@ -203,17 +214,21 @@ func (p *Pipeline) measureComm(ctx context.Context, prog *mtcg.Program) (interp.
 		MaxSteps:  p.measureBudget().MeasureSteps,
 		Ctx:       ctx,
 	}
+	if spec != nil {
+		cfg.Inject = spec.New()
+	}
 	if p.o != nil {
 		cfg.Metrics = p.o.partScope(p.W.Name, p.Part.Name()).Child(label + ".interp")
 		cfg.Trace = p.o.interpLane(p.W.Name, p.Part.Name(), label, bit)
 	}
 	mt, err := interp.RunMT(cfg)
 	if err != nil {
-		return interp.CommStats{}, fmt.Errorf("exp: measuring %s/%s: %w", p.W.Name, p.Part.Name(), err)
+		return interp.CommStats{}, cfg.Inject.Count(),
+			fmt.Errorf("exp: measuring %s/%s: %w", p.W.Name, p.Part.Name(), err)
 	}
 	p.o.partLane(p.W.Name, p.Part.Name()).Span("measure-"+label, "measure",
 		mt.Steps, obs.A("steps", mt.Steps))
-	return mt.Stats, nil
+	return mt.Stats, cfg.Inject.Count(), nil
 }
 
 // Machine returns cfg adjusted to the pipeline's partitioner: the
@@ -232,16 +247,28 @@ func (p *Pipeline) Machine(cfg sim.Config) sim.Config {
 // returns the cycle count. The machine is taken as given; callers modeling
 // the paper's per-partitioner queue depths wrap cfg with Machine first.
 func (p *Pipeline) MeasureCycles(cfg sim.Config, prog *mtcg.Program) (int64, error) {
+	cycles, _, err := p.measureCyclesInjected(cfg, prog, nil)
+	return cycles, err
+}
+
+// measureCyclesInjected is MeasureCycles with an optional armed fault spec
+// (fresh deterministic injector per run); it also returns the number of
+// faults injected, even when the simulation fails.
+func (p *Pipeline) measureCyclesInjected(cfg sim.Config, prog *mtcg.Program, spec *fault.Spec) (int64, int64, error) {
 	label, bit := p.progLabel(prog)
 	in := p.W.Ref()
 	ob := p.o.simObserver(p.W.Name, p.Part.Name(), label, bit)
-	res, err := sim.RunObserved(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles, ob)
+	var inj *fault.Injector
+	if spec != nil {
+		inj = spec.New()
+	}
+	res, err := sim.RunInjected(cfg, prog.Threads, in.Args, in.Mem, p.measureBudget().SimCycles, ob, inj)
 	if err != nil {
-		return 0, fmt.Errorf("exp: simulating %s/%s: %w", p.W.Name, p.Part.Name(), err)
+		return 0, inj.Count(), fmt.Errorf("exp: simulating %s/%s: %w", p.W.Name, p.Part.Name(), err)
 	}
 	p.o.partLane(p.W.Name, p.Part.Name()).Span("simulate-"+label, "measure",
 		res.Cycles, obs.A("cycles", res.Cycles))
-	return res.Cycles, nil
+	return res.Cycles, inj.Count(), nil
 }
 
 // measureBudget returns the pipeline's budget, defaulting for pipelines

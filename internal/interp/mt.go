@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
 )
@@ -17,6 +18,11 @@ var ErrDeadlock = errors.New("interp: deadlock: all threads blocked")
 // ErrBadSchedule is returned when a Scheduler picks a thread that is not
 // runnable — a policy bug, not a program bug.
 var ErrBadSchedule = errors.New("interp: scheduler picked a non-runnable thread")
+
+// ErrBadProgram is returned when a thread references a queue outside
+// [0, NumQueues) — a mis-specified plan. RunMT validates up front so a
+// corrupted program is a typed error, never an index panic mid-run.
+var ErrBadProgram = errors.New("interp: program references queue out of range")
 
 // DefaultQueueCap is the queue depth used when MTConfig.QueueCap is unset:
 // the 32-entry synchronization-array queues the paper evaluates DSWP with.
@@ -120,6 +126,10 @@ type MTConfig struct {
 	// counter events named "q<N>" with series "depth", timestamped in
 	// issued steps.
 	Trace *obs.Lane
+	// Inject, when non-nil, is a deterministic fault injector consulted at
+	// each queue operation and scheduler pick. An injector belongs to one
+	// run: create a fresh one (fault.Spec.New) per RunMT call.
+	Inject *fault.Injector
 }
 
 // MTResult is the outcome of a multi-threaded run.
@@ -237,6 +247,10 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
+	// A ShrinkQueue injector halves the capacity for the whole run; folding
+	// it into cfg keeps every later cap check (including the deadlock
+	// diagnostic) consistent with the effective depth.
+	cfg.QueueCap = cfg.Inject.QueueCap(cfg.QueueCap)
 	sched := cfg.Sched
 	if sched == nil {
 		sched = RoundRobin()
@@ -247,6 +261,16 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		if len(cfg.Args) != len(fn.Params) {
 			return nil, fmt.Errorf("interp: thread %s takes %d params, got %d",
 				fn.Name, len(fn.Params), len(cfg.Args))
+		}
+		var badQ error
+		fn.Instrs(func(in *ir.Instr) {
+			if badQ == nil && in.Op.IsComm() && (in.Queue < 0 || in.Queue >= cfg.NumQueues) {
+				badQ = fmt.Errorf("%w: thread %s: %v references queue %d of %d",
+					ErrBadProgram, fn.Name, in, in.Queue, cfg.NumQueues)
+			}
+		})
+		if badQ != nil {
+			return nil, badQ
 		}
 		ts := &threadState{fn: fn, regs: make([]int64, int(fn.MaxReg())+1), blk: fn.Entry()}
 		for j, p := range fn.Params {
@@ -299,6 +323,18 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		res.Sched.Picks++
 		if ro != nil && ro.m != nil {
 			ro.m.schedPicks.Inc()
+		}
+		if cfg.Inject.Stall(ti, len(threads)) {
+			// A frozen thread wastes its turn without issuing. It is NOT
+			// marked blocked: blocked[] feeds the deadlock detector, and a
+			// stall window always expires, so it must never look like a
+			// stuck queue operation. Counted as a blocked turn to preserve
+			// Picks == BlockedTurns + issued steps.
+			res.Sched.BlockedTurns++
+			if ro != nil && ro.m != nil {
+				ro.m.schedBlocked.Inc()
+			}
+			continue
 		}
 		stepped, err := stepThread(threads[ti], ti, queues, cfg, &res.PerThread[ti], res, ro, steps)
 		if err != nil {
@@ -361,10 +397,20 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		} else {
 			stats.ProduceSync++
 		}
-		queues[in.Queue] = append(queues[in.Queue], v)
-		perQueue[in.Queue].Produced++
-		if d := int64(len(queues[in.Queue])); d > res.QueueHWM[in.Queue] {
-			res.QueueHWM[in.Queue] = d
+		// Role stats above count the instruction; the per-queue traffic
+		// below counts what actually lands in the array. Under injection
+		// the two may diverge (drop, dup, swap) — that divergence is
+		// exactly what the oracle's balance/ownership checks detect.
+		q, val, times := cfg.Inject.Produce(ti, in.Queue, v, cfg.NumQueues, in.Op == ir.Produce)
+		for k := 0; k < times; k++ {
+			queues[q] = append(queues[q], val)
+			perQueue[q].Produced++
+			if d := int64(len(queues[q])); d > res.QueueHWM[q] {
+				res.QueueHWM[q] = d
+			}
+			if ro != nil && ro.m != nil {
+				ro.m.queueProduced[q].Inc()
+			}
 		}
 		if ro != nil {
 			if ro.m != nil {
@@ -373,9 +419,10 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 				} else {
 					ro.m.produceSync.Inc()
 				}
-				ro.m.queueProduced[in.Queue].Inc()
 			}
-			ro.queueDepth(in.Queue, step, len(queues[in.Queue]))
+			if times > 0 {
+				ro.queueDepth(q, step, len(queues[q]))
+			}
 		}
 		ts.idx++
 	case ir.Consume, ir.ConsumeSync:

@@ -1,0 +1,160 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+)
+
+// outOfRangeScheduler picks a thread index that does not exist.
+type outOfRangeScheduler struct{ pick int }
+
+func (s outOfRangeScheduler) Name() string                         { return "out-of-range" }
+func (s outOfRangeScheduler) Pick(_ []int, _ []int64, _ int64) int { return s.pick }
+
+// TestOutOfRangePickRejected: a policy returning an index outside
+// [0, len(threads)) is a policy bug reported as ErrBadSchedule, not an
+// index panic.
+func TestOutOfRangePickRejected(t *testing.T) {
+	for _, pick := range []int{-1, 2, 99} {
+		threads, nq := mtPair(5, true)
+		_, err := RunMT(MTConfig{
+			Threads: threads, NumQueues: nq,
+			Sched: outOfRangeScheduler{pick}, MaxSteps: 1000,
+		})
+		if !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("pick=%d: err = %v, want ErrBadSchedule", pick, err)
+		}
+	}
+}
+
+// TestCtxCancelMidRunMT: a cancelled context lands between the periodic
+// polls of a long multi-threaded run and surfaces as context.Canceled
+// wrapped with progress, not as a deadlock or a hang.
+func TestCtxCancelMidRunMT(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// ~14 dynamic instructions per exchanged value: 10k values crosses the
+	// 65536-step poll boundary several times.
+	threads, nq := mtPair(10_000, true)
+	res, err := RunMT(MTConfig{
+		Threads: threads, NumQueues: nq, MaxSteps: 10_000_000, Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Error("cancellation misreported as deadlock")
+	}
+}
+
+// TestCtxNotPolledOnShortRun: runs shorter than the poll interval complete
+// even under a cancelled context (cancellation is cooperative, not exact).
+func TestCtxNotPolledOnShortRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	threads, nq := mtPair(10, true)
+	if _, err := RunMT(MTConfig{
+		Threads: threads, NumQueues: nq, MaxSteps: 10_000, Ctx: ctx,
+	}); err != nil {
+		t.Fatalf("short run under cancelled ctx: %v", err)
+	}
+}
+
+// TestBadProgramRejected: a thread referencing a queue outside
+// [0, NumQueues) is a mis-specified plan caught up front by validation.
+func TestBadProgramRejected(t *testing.T) {
+	f := ir.NewFunction("bad")
+	f.NumQueues = 1
+	e := f.NewBlock("entry")
+	v := f.NewReg()
+	cons := f.NewInstr(ir.Consume, v)
+	cons.Queue = 5
+	e.Append(cons)
+	e.Append(f.NewInstr(ir.Ret, ir.NoReg))
+	_, err := RunMT(MTConfig{Threads: []*ir.Function{f}, NumQueues: 1, MaxSteps: 100})
+	if !errors.Is(err, ErrBadProgram) {
+		t.Errorf("err = %v, want ErrBadProgram", err)
+	}
+}
+
+// TestInjectDropDeadlocks: dropping produces starves the consumer, and the
+// existing deadlock detector names the fault — no hang, no wrong result.
+func TestInjectDropDeadlocks(t *testing.T) {
+	threads, nq := mtPair(2000, true)
+	inj := fault.Spec{Class: fault.DropProduce, Seed: 1}.New()
+	_, err := RunMT(MTConfig{
+		Threads: threads, NumQueues: nq, MaxSteps: 1_000_000, Inject: inj,
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if inj.Count() == 0 {
+		t.Error("no faults injected before the deadlock")
+	}
+}
+
+// TestInjectStallTolerated: freezing a thread for a bounded window must be
+// absorbed — same live-outs as the clean run, stall turns visible in the
+// scheduler stats, Picks == BlockedTurns + issued steps preserved.
+func TestInjectStallTolerated(t *testing.T) {
+	threads, nq := mtPair(500, true)
+	clean, err := RunMT(MTConfig{Threads: threads, NumQueues: nq, MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads2, _ := mtPair(500, true)
+	inj := fault.Spec{Class: fault.StallThread, Seed: 3}.New()
+	res, err := RunMT(MTConfig{
+		Threads: threads2, NumQueues: nq, MaxSteps: 1_000_000, Inject: inj,
+	})
+	if err != nil {
+		t.Fatalf("stall must be tolerated, got %v", err)
+	}
+	if inj.Count() == 0 {
+		t.Fatal("stall never fired")
+	}
+	if len(res.LiveOuts) != len(clean.LiveOuts) {
+		t.Fatalf("live-out count changed: %d vs %d", len(res.LiveOuts), len(clean.LiveOuts))
+	}
+	for i := range res.LiveOuts {
+		if res.LiveOuts[i] != clean.LiveOuts[i] {
+			t.Errorf("live-out[%d] = %d, want %d", i, res.LiveOuts[i], clean.LiveOuts[i])
+		}
+	}
+	if res.Sched.BlockedTurns < inj.Count() {
+		t.Errorf("BlockedTurns = %d, want >= %d injected stall turns",
+			res.Sched.BlockedTurns, inj.Count())
+	}
+	if res.Sched.Picks != res.Sched.BlockedTurns+res.Steps {
+		t.Errorf("Picks (%d) != BlockedTurns (%d) + Steps (%d)",
+			res.Sched.Picks, res.Sched.BlockedTurns, res.Steps)
+	}
+}
+
+// TestInjectShrinkTolerated: halving the queue capacity only adds
+// back-pressure; results stay correct.
+func TestInjectShrinkTolerated(t *testing.T) {
+	threads, nq := mtPair(500, true)
+	inj := fault.Spec{Class: fault.ShrinkQueue, Seed: 1}.New()
+	res, err := RunMT(MTConfig{
+		Threads: threads, NumQueues: nq, QueueCap: 32, MaxSteps: 1_000_000, Inject: inj,
+	})
+	if err != nil {
+		t.Fatalf("shrunk queue must be tolerated, got %v", err)
+	}
+	if inj.Count() != 1 {
+		t.Errorf("shrink injected %d events, want 1", inj.Count())
+	}
+	for q, hwm := range res.QueueHWM {
+		if hwm > 16 {
+			t.Errorf("queue %d HWM %d exceeds the shrunken capacity 16", q, hwm)
+		}
+	}
+}

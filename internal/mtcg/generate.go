@@ -34,7 +34,10 @@ type commEmit struct {
 // closure.
 func Generate(p *Plan) (*Program, error) {
 	f := p.F
-	pdomTree := analysis.PostDominators(f)
+	pdomTree, err := analysis.PostDominators(f)
+	if err != nil {
+		return nil, fmt.Errorf("mtcg: %w", err)
+	}
 	retBlock := f.RetInstr().Block()
 
 	// Assign queues: one per communication.

@@ -95,7 +95,7 @@ func Before(in *ir.Instr) Point {
 // and every transitive control dependence is implemented by replicating the
 // branch and communicating its operand immediately before it.
 func NaivePlan(f *ir.Function, g *pdg.Graph, assign map[*ir.Instr]int, numThreads int) *Plan {
-	cdg := analysis.ControlDeps(f, nil)
+	cdg := analysis.MustControlDeps(f, nil)
 	p := &Plan{F: f, Assign: assign, NumThreads: numThreads}
 
 	// Seed relevant branches: branches assigned to t, and branches

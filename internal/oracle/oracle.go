@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/coco"
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mtcg"
@@ -128,6 +129,18 @@ type Options struct {
 	MaxSteps int64
 	// SimCycles bounds each simulator run (default 50M).
 	SimCycles int64
+	// SimStallLimit overrides the simulator's no-progress watchdog
+	// (sim.Config.StallLimit); 0 keeps the default. Chaos runs lower it so
+	// an injected deadlock fails fast.
+	SimStallLimit int64
+	// Inject, when non-nil, arms deterministic fault injection: every
+	// executor run gets a fresh injector built from this spec, so the same
+	// spec yields the same fault schedule on every run. The injected-fault
+	// count and first fault schedule are reported in Report.Injected and
+	// Report.FaultSchedule. With a destructive fault armed, failures are
+	// the expected outcome — the detector-coverage matrix asserts they
+	// appear.
+	Inject *fault.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -199,6 +212,13 @@ type Report struct {
 	// Runs is the number of executor runs performed.
 	Runs     int
 	Failures []Failure
+	// Injected counts faults injected across all runs (always 0 without
+	// Options.Inject).
+	Injected int64
+	// FaultSchedule is the first run's rendered fault schedule — a
+	// deterministic function of the fault spec and the program, so reports
+	// under the same seed are byte-identical.
+	FaultSchedule string
 }
 
 // Ok reports whether no failure was found.
@@ -219,6 +239,10 @@ func (r *Report) Merge(o *Report) {
 	r.Programs += o.Programs
 	r.Runs += o.Runs
 	r.Failures = append(r.Failures, o.Failures...)
+	r.Injected += o.Injected
+	if r.FaultSchedule == "" {
+		r.FaultSchedule = o.FaultSchedule
+	}
 }
 
 // Err returns nil when the report is clean, or an error summarizing the
@@ -345,6 +369,25 @@ func CheckProgram(rep *Report, caseName string, g *Golden, label string,
 	opts = opts.withDefaults()
 	rep.Programs++
 
+	// Each executor run gets a fresh injector from the armed spec (an
+	// injector is single-run state, like a Scheduler); afterwards the run's
+	// injection count and first fault schedule fold into the report.
+	newInjector := func() *fault.Injector {
+		if opts.Inject == nil {
+			return nil
+		}
+		return opts.Inject.New()
+	}
+	recordInjector := func(inj *fault.Injector) {
+		if inj == nil {
+			return
+		}
+		rep.Injected += inj.Count()
+		if rep.FaultSchedule == "" {
+			rep.FaultSchedule = inj.Schedule()
+		}
+	}
+
 	prodOf, consOf, err := queueOwners(prog)
 	if err != nil {
 		rep.add(caseName, label, InvariantViolation, err.Error())
@@ -363,13 +406,15 @@ func CheckProgram(rep *Report, caseName string, g *Golden, label string,
 				rep.add(caseName, config, ExecError, err.Error())
 				continue
 			}
+			inj := newInjector()
 			mt, err := interp.RunMT(interp.MTConfig{
 				Threads: prog.Threads, NumQueues: prog.NumQueues,
 				QueueCap: qcap, Sched: sched, Assign: prog.Assign,
 				Args: args, Mem: append([]int64(nil), mem...),
-				MaxSteps: opts.MaxSteps,
+				MaxSteps: opts.MaxSteps, Inject: inj,
 			})
 			rep.Runs++
+			recordInjector(inj)
 			if err != nil {
 				kind := ExecError
 				if errors.Is(err, interp.ErrDeadlock) {
@@ -406,8 +451,13 @@ func CheckProgram(rep *Report, caseName string, g *Golden, label string,
 		if prog.NumQueues > cfg.NumQueues {
 			cfg.NumQueues = prog.NumQueues
 		}
-		sr, err := sim.Run(cfg, prog.Threads, args, append([]int64(nil), mem...), opts.SimCycles)
+		if opts.SimStallLimit > 0 {
+			cfg.StallLimit = opts.SimStallLimit
+		}
+		inj := newInjector()
+		sr, err := sim.RunInjected(cfg, prog.Threads, args, append([]int64(nil), mem...), opts.SimCycles, nil, inj)
 		rep.Runs++
+		recordInjector(inj)
 		if err != nil {
 			rep.add(caseName, config, SimDivergence, err.Error())
 			continue

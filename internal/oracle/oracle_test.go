@@ -184,7 +184,10 @@ func TestShrinkMinimizes(t *testing.T) {
 	if c == nil {
 		t.Fatal("no seed produced a program with a multiply")
 	}
-	min := Shrink(c, hasMul, 100_000)
+	min, err := Shrink(c, hasMul, 100_000)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
 	if err := min.F.Verify(); err != nil {
 		t.Fatalf("shrunk program invalid: %v\n%s", err, min.F)
 	}

@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"fmt"
+
 	"repro/internal/ir"
 )
 
@@ -24,16 +26,24 @@ const DefaultShrinkChecks = 2000
 //
 // Candidates are built on structural clones (print→parse round trips), so
 // the input case is never mutated and the result shares no state with it.
-func Shrink(c *Case, still Property, maxChecks int) *Case {
+//
+// A clone that fails to re-parse is an IR printing bug; Shrink stops and
+// returns it alongside the best case found so far rather than shrinking
+// around it (or crashing mid-shrink).
+func Shrink(c *Case, still Property, maxChecks int) (*Case, error) {
 	if maxChecks <= 0 {
 		maxChecks = DefaultShrinkChecks
 	}
 	cur := c
 	for {
 		improved := false
-		for _, cand := range candidates(cur) {
+		cands, err := candidates(cur)
+		if err != nil {
+			return cur, err
+		}
+		for _, cand := range cands {
 			if maxChecks <= 0 {
-				return cur
+				return cur, nil
 			}
 			maxChecks--
 			if still(cand) {
@@ -43,7 +53,7 @@ func Shrink(c *Case, still Property, maxChecks int) *Case {
 			}
 		}
 		if !improved {
-			return cur
+			return cur, nil
 		}
 	}
 }
@@ -66,10 +76,15 @@ func StillFails(opts Options, k Kind) Property {
 }
 
 // candidates enumerates one-mutation reductions of c, most aggressive
-// first. Every returned case verifies.
-func candidates(c *Case) []*Case {
+// first. Every returned case verifies. The error is the first clone
+// failure, with whatever candidates were built before it.
+func candidates(c *Case) ([]*Case, error) {
 	var out []*Case
-	add := func(m *Case) {
+	var firstErr error
+	add := func(m *Case, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 		if m != nil && m.F.Verify() == nil {
 			out = append(out, m)
 		}
@@ -128,31 +143,34 @@ func candidates(c *Case) []*Case {
 		}
 	}
 	if zeroed {
-		m := clone(c)
-		for i := range m.Mem {
-			m.Mem[i] = 0
+		m, err := clone(c)
+		if m != nil {
+			for i := range m.Mem {
+				m.Mem[i] = 0
+			}
 		}
-		add(m)
+		add(m, err)
 	}
 	for i, v := range c.Mem {
 		if v != 0 {
-			m := clone(c)
-			m.Mem[i] = 0
-			add(m)
+			m, err := clone(c)
+			if m != nil {
+				m.Mem[i] = 0
+			}
+			add(m, err)
 		}
 	}
-	return out
+	return out, firstErr
 }
 
 // clone deep-copies a case via a print→parse round trip of the function
-// (the same round trip the IR tests guarantee is lossless).
-func clone(c *Case) *Case {
+// (the same round trip the IR tests guarantee is lossless). The case came
+// from the builder or a previous parse, so a failure to re-parse means an
+// IR printing bug, which must be surfaced — not silently shrunk around.
+func clone(c *Case) (*Case, error) {
 	f, err := ir.Parse(c.F.String())
 	if err != nil {
-		// The case came from the builder or a previous parse; failure to
-		// re-parse means an IR printing bug, which must not be silently
-		// shrunk around.
-		panic("oracle: clone: " + err.Error())
+		return nil, fmt.Errorf("oracle: clone %s: %w", c.Name, err)
 	}
 	return &Case{
 		Name:    c.Name,
@@ -161,39 +179,45 @@ func clone(c *Case) *Case {
 		Objects: append([]ir.MemObject(nil), c.Objects...),
 		Args:    append([]int64(nil), c.Args...),
 		Mem:     append([]int64(nil), c.Mem...),
-	}
+	}, nil
 }
 
 // collapseBranch replaces block bi's conditional branch with an
 // unconditional jump to successor side, then prunes unreachable blocks.
-func collapseBranch(c *Case, bi, side int) *Case {
-	m := clone(c)
+func collapseBranch(c *Case, bi, side int) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	b := m.F.Blocks[bi]
 	t := b.Terminator()
 	if t == nil || t.Op != ir.Br || side >= len(b.Succs) {
-		return nil
+		return nil, nil
 	}
 	keep := b.Succs[side]
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
 	b.Append(m.F.NewInstr(ir.Jump, ir.NoReg))
 	b.SetSuccs(keep)
 	pruneUnreachable(m.F)
-	return m
+	return m, nil
 }
 
 // mergeWithSucc splices block bi's sole successor into it, dropping the
 // jump between them. Legal only when the successor has no other
 // predecessor (so execution order is unchanged).
-func mergeWithSucc(c *Case, bi int) *Case {
-	m := clone(c)
+func mergeWithSucc(c *Case, bi int) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	b := m.F.Blocks[bi]
 	t := b.Terminator()
 	if t == nil || t.Op != ir.Jump {
-		return nil
+		return nil, nil
 	}
 	s := b.Succs[0]
 	if s == b || len(s.Preds) != 1 {
-		return nil
+		return nil, nil
 	}
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
 	for _, in := range s.Instrs {
@@ -202,47 +226,59 @@ func mergeWithSucc(c *Case, bi int) *Case {
 	b.SetSuccs(s.Succs...)
 	s.Instrs = nil
 	pruneUnreachable(m.F)
-	return m
+	return m, nil
 }
 
 // dropInstr deletes the ii-th body instruction of block bi.
-func dropInstr(c *Case, bi, ii int) *Case {
-	m := clone(c)
+func dropInstr(c *Case, bi, ii int) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	b := m.F.Blocks[bi]
 	if ii >= len(b.Body()) {
-		return nil
+		return nil, nil
 	}
 	b.Instrs = append(b.Instrs[:ii], b.Instrs[ii+1:]...)
-	return m
+	return m, nil
 }
 
 // dropLiveOut removes the i-th live-out from the Ret.
-func dropLiveOut(c *Case, i int) *Case {
-	m := clone(c)
+func dropLiveOut(c *Case, i int) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	ret := m.F.RetInstr()
 	if ret == nil || i >= len(ret.Srcs) {
-		return nil
+		return nil, nil
 	}
 	ret.Srcs = append(append([]ir.Reg(nil), ret.Srcs[:i]...), ret.Srcs[i+1:]...)
-	return m
+	return m, nil
 }
 
 // setImm replaces the immediate of instruction (bi, ii) with v.
-func setImm(c *Case, bi, ii int, v int64) *Case {
-	m := clone(c)
+func setImm(c *Case, bi, ii int, v int64) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	b := m.F.Blocks[bi]
 	if ii >= len(b.Instrs) {
-		return nil
+		return nil, nil
 	}
 	b.Instrs[ii].Imm = v
-	return m
+	return m, nil
 }
 
 // setArg replaces argument i with v.
-func setArg(c *Case, i int, v int64) *Case {
-	m := clone(c)
+func setArg(c *Case, i int, v int64) (*Case, error) {
+	m, err := clone(c)
+	if err != nil {
+		return nil, err
+	}
 	m.Args[i] = v
-	return m
+	return m, nil
 }
 
 // pruneUnreachable removes blocks unreachable from the entry, reindexing

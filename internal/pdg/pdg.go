@@ -141,7 +141,7 @@ func Build(f *ir.Function, objects []ir.MemObject) *Graph {
 
 	// Control dependences: the branch terminating block u controls every
 	// instruction of each block control dependent on u.
-	cdg := analysis.ControlDeps(f, nil)
+	cdg := analysis.MustControlDeps(f, nil)
 	for _, blk := range f.Blocks {
 		for _, d := range cdg.Deps(blk) {
 			br := d.Branch.Terminator()

@@ -42,6 +42,12 @@ type Config struct {
 
 	// Cores is the number of cores (the paper evaluates 2).
 	Cores int
+
+	// StallLimit is the no-progress watchdog: the run aborts with
+	// ErrNoProgress after this many consecutive cycles with no core
+	// issuing. <= 0 selects the default (2,000,000 cycles). Chaos tests
+	// lower it so an injected deadlock fails in microseconds, not seconds.
+	StallLimit int64
 }
 
 // DefaultConfig returns the machine of Figure 6(a): dual-core Itanium 2 at
@@ -75,5 +81,7 @@ func DefaultConfig() Config {
 		NumQueues: 256,
 
 		Cores: 2,
+
+		StallLimit: 2_000_000,
 	}
 }

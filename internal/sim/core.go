@@ -80,8 +80,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 
 		switch in.Op {
 		case ir.Produce, ir.ProduceSync:
-			q := s.queues[in.Queue]
-			if q.inFlight() >= cfg.QueueCap {
+			if s.queues[in.Queue].inFlight() >= s.qcap {
 				return issued // queue full: blocked
 			}
 			if *saPortsUsed >= cfg.SAPorts {
@@ -92,16 +91,23 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			if in.Op == ir.Produce {
 				v = c.regs[in.Srcs[0]]
 			}
-			q.vals = append(q.vals, v)
-			q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
+			// Core stats count the issued instruction; queue stats count
+			// what actually lands in the array — under injection (drop,
+			// dup, swap) the two diverge, which is the detection signal.
+			tq, val, times := s.inj.Produce(c.id, in.Queue, v, len(s.queues), in.Op == ir.Produce)
 			c.stats.Produces++
-			qs := &s.qstats[in.Queue]
-			qs.Produced++
-			if d := int64(q.inFlight()); d > qs.HighWater {
-				qs.HighWater = d
-			}
-			if s.saLane != nil {
-				s.saLane.Counter(s.qnames[in.Queue], cycle, "depth", int64(q.inFlight()))
+			for k := 0; k < times; k++ {
+				q := s.queues[tq]
+				q.vals = append(q.vals, val)
+				q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
+				qs := &s.qstats[tq]
+				qs.Produced++
+				if d := int64(q.inFlight()); d > qs.HighWater {
+					qs.HighWater = d
+				}
+				if s.saLane != nil {
+					s.saLane.Counter(s.qnames[tq], cycle, "depth", int64(q.inFlight()))
+				}
 			}
 		case ir.Consume, ir.ConsumeSync:
 			q := s.queues[in.Queue]

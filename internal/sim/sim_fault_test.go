@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+)
+
+// faultPair builds a one-queue producer/consumer pair exchanging n values.
+func faultPair(n int64) []*ir.Function {
+	mk := func(producer bool) *ir.Function {
+		f := ir.NewFunction("t")
+		f.NumQueues = 1
+		entry := f.NewBlock("entry")
+		loop := f.NewBlock("loop")
+		exit := f.NewBlock("exit")
+		i := f.NewReg()
+		one := f.NewReg()
+		lim := f.NewReg()
+		c := f.NewReg()
+		ci := f.NewInstr(ir.Const, i)
+		c1 := f.NewInstr(ir.Const, one)
+		c1.Imm = 1
+		cl := f.NewInstr(ir.Const, lim)
+		cl.Imm = n
+		entry.Append(ci)
+		entry.Append(c1)
+		entry.Append(cl)
+		entry.Append(f.NewInstr(ir.Jump, ir.NoReg))
+		entry.SetSuccs(loop)
+		var comm *ir.Instr
+		if producer {
+			comm = f.NewInstr(ir.Produce, ir.NoReg, i)
+		} else {
+			comm = f.NewInstr(ir.Consume, f.NewReg())
+		}
+		comm.Queue = 0
+		loop.Append(comm)
+		loop.Append(f.NewInstr(ir.Add, i, i, one))
+		loop.Append(f.NewInstr(ir.CmpLT, c, i, lim))
+		loop.Append(f.NewInstr(ir.Br, ir.NoReg, c))
+		loop.SetSuccs(loop, exit)
+		exit.Append(f.NewInstr(ir.Ret, ir.NoReg))
+		return f
+	}
+	return []*ir.Function{mk(true), mk(false)}
+}
+
+// TestSimBadProgramRejected: comm instructions referencing queues outside
+// the program's range are caught up front as ErrBadProgram.
+func TestSimBadProgramRejected(t *testing.T) {
+	f := ir.NewFunction("bad")
+	f.NumQueues = 2
+	e := f.NewBlock("entry")
+	cons := f.NewInstr(ir.Consume, f.NewReg())
+	cons.Queue = 7
+	e.Append(cons)
+	e.Append(f.NewInstr(ir.Ret, ir.NoReg))
+	if _, err := Run(DefaultConfig(), []*ir.Function{f}, nil, nil, 1000); !errors.Is(err, ErrBadProgram) {
+		t.Errorf("err = %v, want ErrBadProgram", err)
+	}
+}
+
+// TestSimInjectDropStalls: dropped produces starve the consumer core; with
+// a low stall limit the watchdog converts the silent hang into a named
+// no-progress error instead of burning the full cycle budget.
+func TestSimInjectDropStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StallLimit = 10_000
+	inj := fault.Spec{Class: fault.DropProduce, Seed: 1}.New()
+	_, err := RunInjected(cfg, faultPair(2000), nil, nil, 50_000_000, nil, inj)
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if inj.Count() == 0 {
+		t.Error("no faults injected before the stall")
+	}
+}
+
+// TestSimInjectStallTolerated: a bounded thread freeze costs cycles but
+// the run completes; the frozen turns land in IssueStallCycles.
+func TestSimInjectStallTolerated(t *testing.T) {
+	clean, err := Run(DefaultConfig(), faultPair(500), nil, nil, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.Spec{Class: fault.StallThread, Seed: 3}.New()
+	res, err := RunInjected(DefaultConfig(), faultPair(500), nil, nil, 10_000_000, nil, inj)
+	if err != nil {
+		t.Fatalf("stall must be tolerated, got %v", err)
+	}
+	if inj.Count() == 0 {
+		t.Fatal("stall never fired")
+	}
+	var cleanIssued, faultIssued int64
+	for i := range clean.PerCore {
+		cleanIssued += clean.PerCore[i].Instrs
+		faultIssued += res.PerCore[i].Instrs
+	}
+	if faultIssued != cleanIssued {
+		t.Errorf("stalled run issued %d instructions, clean run %d", faultIssued, cleanIssued)
+	}
+}
+
+// TestSimInjectShrinkTolerated: halved queue capacity adds back-pressure
+// only; the run still completes with every value delivered.
+func TestSimInjectShrinkTolerated(t *testing.T) {
+	inj := fault.Spec{Class: fault.ShrinkQueue, Seed: 1}.New()
+	res, err := RunInjected(DefaultConfig(), faultPair(500), nil, nil, 10_000_000, nil, inj)
+	if err != nil {
+		t.Fatalf("shrunk queue must be tolerated, got %v", err)
+	}
+	if inj.Count() != 1 {
+		t.Errorf("shrink injected %d events, want 1", inj.Count())
+	}
+	if res.PerQueue[0].Consumed != 500 {
+		t.Errorf("consumed %d values, want 500", res.PerQueue[0].Consumed)
+	}
+	if res.PerQueue[0].HighWater > 16 {
+		t.Errorf("high-water %d exceeds the shrunken capacity 16", res.PerQueue[0].HighWater)
+	}
+}
+
+// TestSimInjectDeterministic: the same spec yields the same cycle count
+// and the same schedule, run after run.
+func TestSimInjectDeterministic(t *testing.T) {
+	run := func() (*Result, string) {
+		inj := fault.Spec{Class: fault.DupProduce, Seed: 11}.New()
+		cfg := DefaultConfig()
+		cfg.StallLimit = 10_000
+		res, _ := RunInjected(cfg, faultPair(300), nil, nil, 10_000_000, nil, inj)
+		return res, inj.Schedule()
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if s1 != s2 {
+		t.Errorf("fault schedules differ:\n%s\nvs\n%s", s1, s2)
+	}
+	if (r1 == nil) != (r2 == nil) {
+		t.Fatal("one run failed, the other succeeded")
+	}
+	if r1 != nil && r1.Cycles != r2.Cycles {
+		t.Errorf("cycle counts differ: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
 )
@@ -11,6 +12,11 @@ import (
 // ErrNoProgress is returned when no core issues an instruction for an
 // implausibly long window, indicating a queue-placement deadlock.
 var ErrNoProgress = errors.New("sim: no core made progress")
+
+// ErrBadProgram is returned when a thread references a queue outside the
+// program's queue range — a mis-specified plan. Validated up front so a
+// corrupted program is a typed error, never an index panic mid-simulation.
+var ErrBadProgram = errors.New("sim: program references queue out of range")
 
 // ErrCycleLimit is returned when the cycle budget is exhausted.
 var ErrCycleLimit = errors.New("sim: cycle limit exceeded")
@@ -92,6 +98,8 @@ type core struct {
 // system couples the cores, the shared L3, and the SA.
 type system struct {
 	cfg    Config
+	qcap   int // effective queue capacity (cfg.QueueCap, possibly shrunk)
+	inj    *fault.Injector
 	cores  []*core
 	queues []*saQueue
 	qstats []QueueStats
@@ -135,6 +143,14 @@ func Run(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycle
 // stall timelines stream into ob's sinks as the simulation advances. A nil
 // ob (or nil fields) records nothing and is exactly Run.
 func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycles int64, ob *Observer) (*Result, error) {
+	return RunInjected(cfg, threads, args, mem, maxCycles, ob, nil)
+}
+
+// RunInjected is RunObserved with a deterministic fault injector consulted
+// at each synchronization-array operation and core issue slot. The injector
+// belongs to this run (create a fresh one per call); nil injects nothing
+// and is exactly RunObserved.
+func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, maxCycles int64, ob *Observer, inj *fault.Injector) (*Result, error) {
 	if len(threads) > cfg.Cores {
 		return nil, fmt.Errorf("sim: %d threads exceed %d cores", len(threads), cfg.Cores)
 	}
@@ -148,9 +164,22 @@ func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		return nil, fmt.Errorf("sim: program needs %d queues, hardware has %d (run queue allocation)",
 			numQueues, cfg.NumQueues)
 	}
+	for _, f := range threads {
+		var badQ error
+		fn := f
+		f.Instrs(func(in *ir.Instr) {
+			if badQ == nil && in.Op.IsComm() && (in.Queue < 0 || in.Queue >= numQueues) {
+				badQ = fmt.Errorf("%w: thread %s: %v references queue %d of %d",
+					ErrBadProgram, fn.Name, in, in.Queue, numQueues)
+			}
+		})
+		if badQ != nil {
+			return nil, badQ
+		}
+	}
 
 	l3 := newCache(cfg.L3Sets, cfg.L3Ways, cfg.L3Line)
-	sys := &system{cfg: cfg, mem: mem}
+	sys := &system{cfg: cfg, qcap: inj.QueueCap(cfg.QueueCap), inj: inj, mem: mem}
 	for i, f := range threads {
 		if len(args) != len(f.Params) {
 			return nil, fmt.Errorf("sim: thread %s takes %d params, got %d", f.Name, len(f.Params), len(args))
@@ -201,6 +230,11 @@ func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		stallStart[i] = -1
 	}
 
+	stallLimit := cfg.StallLimit
+	if stallLimit <= 0 {
+		stallLimit = 2_000_000
+	}
+
 	var cycle, lastProgress int64
 	for {
 		saPortsUsed := 0
@@ -211,6 +245,16 @@ func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 				continue
 			}
 			allDone = false
+			if sys.inj.Stall(ci, len(sys.cores)) {
+				// Frozen core: issues nothing this cycle. The freeze window
+				// always expires (far below the no-progress watchdog), so a
+				// stall can delay but never deadlock the simulation.
+				c.stats.IssueStallCycles++
+				if sys.coreLanes != nil && stallStart[ci] < 0 {
+					stallStart[ci] = cycle
+				}
+				continue
+			}
 			issued := sys.stepCore(c, cycle, &saPortsUsed)
 			if issued > 0 {
 				anyIssued = true
@@ -234,7 +278,7 @@ func RunObserved(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		if anyIssued {
 			lastProgress = cycle
 		}
-		if cycle-lastProgress > 2_000_000 {
+		if cycle-lastProgress > stallLimit {
 			return nil, fmt.Errorf("%w for %d cycles at cycle %d", ErrNoProgress, cycle-lastProgress, cycle)
 		}
 		cycle++
