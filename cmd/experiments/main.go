@@ -28,9 +28,15 @@
 // schedule, byte-identical reports. -fail-fast disables the degradation
 // chain so the first stage failure aborts instead of falling back.
 //
+// Profiling: -explain re-simulates every Figure 8 cell under the
+// cycle-attribution profiler (internal/profile) and annotates each row
+// with the dominant per-bucket contributions to the naive→COCO cycle
+// delta; see cmd/gmtprof for the full per-run report.
+//
 //	experiments [-fig all|1|6a|6b|7|8] [-workloads ks,mpeg2enc,...] [-j N]
-//	            [-trace out.json] [-metrics out.json] [-timeline] [-trace-limit N]
-//	            [-chaos matrix|<fault-class>] [-chaos-seed N] [-fail-fast]
+//	            [-explain] [-trace out.json] [-metrics out.json] [-timeline]
+//	            [-trace-limit N] [-chaos matrix|<fault-class>] [-chaos-seed N]
+//	            [-fail-fast]
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
 	timeline := flag.Bool("timeline", false, "record per-cycle simulator/interpreter lanes in the trace (large)")
 	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
+	explain := flag.Bool("explain", false, "annotate Figure 8 rows with the profiler's naive→COCO cycle-delta decomposition")
 	chaos := flag.String("chaos", "", "\"matrix\" runs the detector-coverage matrix; a fault class name injects that fault into the figure runs")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed (same seed = same schedule)")
 	failFast := flag.Bool("fail-fast", false, "disable the graceful-degradation chain: abort on the first stage failure")
@@ -170,6 +177,11 @@ func main() {
 			rows, err = engine.SpeedupExperiment(ctx, cfg, ws)
 			return err
 		})
+		if *explain {
+			timed("8 (explain)", func() error {
+				return engine.AnnotateSpeedups(ctx, cfg, ws, rows)
+			})
+		}
 		exp.RenderFig8(os.Stdout, rows)
 	}
 
@@ -179,6 +191,7 @@ func main() {
 	}
 
 	if o != nil {
+		obs.RecordDrops(o.Trace, o.Metrics)
 		if *tracePath != "" {
 			writeObs(*tracePath, o.Trace.WriteJSON)
 			if n := o.Trace.Dropped(); n > 0 {

@@ -129,6 +129,7 @@ func main() {
 	}
 
 	if o != nil {
+		obs.RecordDrops(o.Trace, o.Metrics)
 		if *tracePath != "" {
 			writeObs(*tracePath, o.Trace.WriteJSON)
 			if n := o.Trace.Dropped(); n > 0 {

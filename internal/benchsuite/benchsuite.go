@@ -7,6 +7,7 @@
 package benchsuite
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -102,4 +103,78 @@ func WriteJSON(w io.Writer, results []Result) error {
 // integers print without an exponent or trailing zeros).
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// ReadFile parses a benchmark artifact previously written by WriteJSON.
+func ReadFile(path string) ([]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int                `json:"iterations"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchsuite: parsing %s: %w", path, err)
+	}
+	rs := make([]Result, 0, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		rs = append(rs, Result{Name: b.Name, Iterations: b.Iterations, NsPerOp: b.NsPerOp, Metrics: b.Metrics})
+	}
+	return rs, nil
+}
+
+// Diff compares a fresh run's deterministic work metrics against a
+// baseline, returning one human-readable line per drift (empty = no
+// drift). Only Metrics participate: ns_per_op is wall-clock noise and
+// iteration counts depend on -benchtime, so both are ignored. A baseline
+// benchmark absent from the fresh set, a metric key that appears or
+// disappears, and any changed value all count as drift; fresh benchmarks
+// not in the baseline are ignored (they join it when it is regenerated).
+func Diff(baseline, fresh []Result) []string {
+	fm := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		fm[r.Name] = r
+	}
+	base := append([]Result(nil), baseline...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	var drift []string
+	for _, b := range base {
+		f, ok := fm[b.Name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: missing from fresh run", b.Name))
+			continue
+		}
+		keys := map[string]bool{}
+		for k := range b.Metrics {
+			keys[k] = true
+		}
+		for k := range f.Metrics {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			bv, bok := b.Metrics[k]
+			fv, fok := f.Metrics[k]
+			switch {
+			case !bok:
+				drift = append(drift, fmt.Sprintf("%s: new metric %q = %s not in baseline", b.Name, k, formatFloat(fv)))
+			case !fok:
+				drift = append(drift, fmt.Sprintf("%s: metric %q = %s missing from fresh run", b.Name, k, formatFloat(bv)))
+			case bv != fv:
+				drift = append(drift, fmt.Sprintf("%s: metric %q drifted: baseline %s, fresh %s",
+					b.Name, k, formatFloat(bv), formatFloat(fv)))
+			}
+		}
+	}
+	return drift
 }

@@ -32,6 +32,62 @@ func TestWriteJSONStableAndSorted(t *testing.T) {
 	}
 }
 
+func TestReadFileRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := NewRecorder(path)
+	want := Result{Name: "X", Iterations: 3, NsPerOp: 1.5,
+		Metrics: map[string]float64{"cycles": 684750}}
+	if err := r.Record(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "X" || got[0].Iterations != 3 ||
+		got[0].NsPerOp != 1.5 || got[0].Metrics["cycles"] != 684750 {
+		t.Errorf("ReadFile = %+v, want [%+v]", got, want)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); !os.IsNotExist(err) {
+		t.Errorf("ReadFile on a missing file: %v, want not-exist", err)
+	}
+}
+
+func TestDiffIgnoresTimingAndCatchesDrift(t *testing.T) {
+	baseline := []Result{
+		{Name: "Sim", Iterations: 1, NsPerOp: 100, Metrics: map[string]float64{"cycles": 1000, "instrs": 50}},
+		{Name: "Gone", Metrics: map[string]float64{"x": 1}},
+	}
+	fresh := []Result{
+		// Different timing and iterations, one drifted value, one metric
+		// missing, one metric added.
+		{Name: "Sim", Iterations: 9, NsPerOp: 999, Metrics: map[string]float64{"cycles": 1001, "steps": 7}},
+		// Not in the baseline: must be ignored.
+		{Name: "New", Metrics: map[string]float64{"y": 2}},
+	}
+	got := Diff(baseline, fresh)
+	want := []string{
+		`Gone: missing from fresh run`,
+		`Sim: metric "cycles" drifted: baseline 1000, fresh 1001`,
+		`Sim: metric "instrs" = 50 missing from fresh run`,
+		`Sim: new metric "steps" = 7 not in baseline`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Diff[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Identical metrics under different timing: no drift.
+	if d := Diff(baseline[:1], []Result{{Name: "Sim", NsPerOp: 1,
+		Metrics: map[string]float64{"cycles": 1000, "instrs": 50}}}); len(d) != 0 {
+		t.Errorf("timing-only change reported as drift: %q", d)
+	}
+}
+
 func TestRecorderRewritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	r := NewRecorder(path)

@@ -72,6 +72,9 @@ type SpeedupRow struct {
 	// Fallback records what the degradation chain substituted (see
 	// CommRow.Fallback); "" when the cell ran as requested.
 	Fallback string
+	// Note carries the profiler's one-line explanation of the naive→COCO
+	// cycle delta when Engine.AnnotateSpeedups has run; "" otherwise.
+	Note string
 }
 
 // NaiveSpeedup returns the MTCG-only speedup over single-threaded.
@@ -98,6 +101,15 @@ func fallbackNote(fb string) string {
 		return ""
 	}
 	return "  [fallback: " + fb + "]"
+}
+
+// explainNote annotates a figure row with the profiler's delta
+// decomposition when -explain has run; unannotated rows render as before.
+func explainNote(n string) string {
+	if n == "" {
+		return ""
+	}
+	return "  [" + n + "]"
 }
 
 // GeoMean returns the geometric mean of a positive series.
@@ -177,8 +189,9 @@ func RenderFig8(w io.Writer, rows []SpeedupRow) {
 	gains := map[string][]float64{}
 	for _, r := range rows {
 		gain := 100 * (r.CocoSpeedup()/r.NaiveSpeedup() - 1)
-		fmt.Fprintf(w, "%-14s %-9s %11.2fx %11.2fx %+9.1f%%%s\n",
-			r.Workload, r.Partitioner, r.NaiveSpeedup(), r.CocoSpeedup(), gain, fallbackNote(r.Fallback))
+		fmt.Fprintf(w, "%-14s %-9s %11.2fx %11.2fx %+9.1f%%%s%s\n",
+			r.Workload, r.Partitioner, r.NaiveSpeedup(), r.CocoSpeedup(), gain,
+			fallbackNote(r.Fallback), explainNote(r.Note))
 		perPart[r.Partitioner] = append(perPart[r.Partitioner], r.CocoSpeedup())
 		gains[r.Partitioner] = append(gains[r.Partitioner], gain)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -130,6 +131,12 @@ type MTConfig struct {
 	// each queue operation and scheduler pick. An injector belongs to one
 	// run: create a fresh one (fault.Spec.New) per RunMT call.
 	Inject *fault.Injector
+	// Attr enables pick attribution: every scheduler pick is tagged with a
+	// cause bucket (issue, queue-empty, queue-full, fault) into
+	// MTResult.Attr, conserving exactly — per-thread bucket sums equal
+	// MTResult.ThreadPicks. Attribution is observational and never changes
+	// the interleaving.
+	Attr bool
 }
 
 // MTResult is the outcome of a multi-threaded run.
@@ -157,6 +164,13 @@ type MTResult struct {
 	QueueHWM []int64
 	// Sched counts scheduler-policy activity.
 	Sched SchedStats
+	// ThreadPicks (attribution runs only) counts how many times each thread
+	// was picked; the entries sum to Sched.Picks.
+	ThreadPicks []int64
+	// Attr (attribution runs only) tags every scheduler pick with a cause
+	// bucket, per thread, per static instruction, and per queue. Per-thread
+	// bucket sums equal ThreadPicks exactly.
+	Attr *attr.Run
 }
 
 // mtMetrics holds the live obs instruments of one run — the second
@@ -287,6 +301,16 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		Sched:     SchedStats{Policy: sched.Name()},
 	}
 	ro := newRunObs(&cfg)
+	var arun *attr.Run
+	if cfg.Attr {
+		ids := make([]int, len(cfg.Threads))
+		for i, f := range cfg.Threads {
+			ids[i] = f.NumInstrIDs()
+		}
+		arun = attr.NewRun("picks", ids, cfg.NumQueues)
+		res.Attr = arun
+		res.ThreadPicks = make([]int64, len(threads))
+	}
 	// blocked[t] is set when t failed to step and cleared whenever any
 	// thread issues an instruction (which is the only event that can
 	// unblock a queue operation).
@@ -321,8 +345,17 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 				ErrBadSchedule, sched.Name(), ti, runnable)
 		}
 		res.Sched.Picks++
+		if res.ThreadPicks != nil {
+			res.ThreadPicks[ti]++
+		}
 		if ro != nil && ro.m != nil {
 			ro.m.schedPicks.Inc()
+		}
+		// curIn (attribution runs only) is the instruction the picked thread
+		// is at — the one issued this pick, or the one it blocked on.
+		var curIn *ir.Instr
+		if arun != nil {
+			curIn = threads[ti].blk.Instrs[threads[ti].idx]
 		}
 		if cfg.Inject.Stall(ti, len(threads)) {
 			// A frozen thread wastes its turn without issuing. It is NOT
@@ -331,6 +364,9 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 			// stuck queue operation. Counted as a blocked turn to preserve
 			// Picks == BlockedTurns + issued steps.
 			res.Sched.BlockedTurns++
+			if arun != nil {
+				arun.Note(ti, attr.Fault, curIn.ID, -1)
+			}
 			if ro != nil && ro.m != nil {
 				ro.m.schedBlocked.Inc()
 			}
@@ -343,10 +379,22 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		if !stepped {
 			blocked[ti] = true
 			res.Sched.BlockedTurns++
+			if arun != nil {
+				// A step only blocks on a queue operation: full for the
+				// produce side, empty for the consume side.
+				b := attr.QueueEmpty
+				if curIn.Op == ir.Produce || curIn.Op == ir.ProduceSync {
+					b = attr.QueueFull
+				}
+				arun.Note(ti, b, curIn.ID, curIn.Queue)
+			}
 			if ro != nil && ro.m != nil {
 				ro.m.schedBlocked.Inc()
 			}
 			continue
+		}
+		if arun != nil {
+			arun.Note(ti, attr.Issue, curIn.ID, -1)
 		}
 		if ro != nil && ro.m != nil {
 			ro.m.steps.Inc()

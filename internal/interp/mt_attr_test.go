@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/coco"
+	"repro/internal/mtcg"
+	"repro/internal/pdg"
+	"repro/internal/testprog"
+)
+
+func TestMTAttrConservesAndIsObservational(t *testing.T) {
+	p := testprog.Fig5()
+	g := pdg.Build(p.F, p.Objects)
+	pl, err := coco.Plan(p.F, g, p.Assign, 2, p.Profile, coco.DefaultOptions())
+	if err != nil {
+		t.Fatalf("coco: %v", err)
+	}
+	prog, err := mtcg.Generate(pl)
+	if err != nil {
+		t.Fatalf("mtcg: %v", err)
+	}
+	mk := func(withAttr bool) *MTResult {
+		res, err := RunMT(MTConfig{
+			Threads:   prog.Threads,
+			NumQueues: prog.NumQueues,
+			Assign:    p.Assign,
+			Args:      []int64{9, 1, 1},
+			Mem:       make(Memory, 2),
+			MaxSteps:  1_000_000,
+			Attr:      withAttr,
+		})
+		if err != nil {
+			t.Fatalf("RunMT(attr=%v): %v", withAttr, err)
+		}
+		return res
+	}
+	base, res := mk(false), mk(true)
+
+	// Attribution must not perturb the run.
+	if res.Steps != base.Steps || res.Sched != base.Sched {
+		t.Errorf("attribution changed the run: steps %d/%d sched %+v/%+v",
+			res.Steps, base.Steps, res.Sched, base.Sched)
+	}
+	if base.Attr != nil || base.ThreadPicks != nil {
+		t.Errorf("attribution recorded without being requested")
+	}
+
+	// Per-thread pick counts are the conservation totals and sum to the
+	// scheduler's pick count.
+	var picks int64
+	for _, n := range res.ThreadPicks {
+		picks += n
+	}
+	if picks != res.Sched.Picks {
+		t.Errorf("ThreadPicks sum to %d, scheduler made %d picks", picks, res.Sched.Picks)
+	}
+	if err := res.Attr.CheckConservation(res.ThreadPicks); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+	if res.Attr.Clock != "picks" {
+		t.Errorf("interpreter attribution clock = %q, want picks", res.Attr.Clock)
+	}
+
+	// The taxonomy splits picks exactly into issued steps and blocked
+	// turns: Issue == Steps, queue buckets == BlockedTurns, and the
+	// simulator-only buckets stay empty.
+	tot := res.Attr.TotalBuckets()
+	if tot[attr.Issue] != res.Steps {
+		t.Errorf("issue bucket = %d, steps = %d", tot[attr.Issue], res.Steps)
+	}
+	if got := tot[attr.QueueEmpty] + tot[attr.QueueFull]; got != res.Sched.BlockedTurns {
+		t.Errorf("queue buckets = %d, blocked turns = %d", got, res.Sched.BlockedTurns)
+	}
+	for _, b := range []attr.Bucket{attr.DepStall, attr.Memory, attr.CommLatency, attr.Branch, attr.Fault, attr.Idle} {
+		if tot[b] != 0 {
+			t.Errorf("clean interpreter run attributed %d picks to %s", tot[b], b)
+		}
+	}
+}

@@ -239,3 +239,65 @@ func TestTraceFieldOrdering(t *testing.T) {
 		t.Errorf("args not sorted by key:\n%s", buf.String())
 	}
 }
+
+// TestFlowEvents: flow start/finish pairs serialize with matching ids and
+// survive the schema checker — they are how produce→consume pairs render
+// as arrows across core lanes in Perfetto.
+func TestFlowEvents(t *testing.T) {
+	tr := NewTrace()
+	prod := tr.Lane(1, 1)
+	cons := tr.Lane(1, 2)
+	prod.SpanAt("produce q0", "comm", 3, 1)
+	cons.SpanAt("consume q0", "comm", 9, 1)
+	prod.FlowStart("q0", "comm", 7, 3)
+	cons.FlowEnd("q0", "comm", 7, 9)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckTraceShape(t, buf.Bytes())
+	out := buf.String()
+	if !strings.Contains(out, "\"ph\": \"s\", \"id\": 7, \"ts\": 3") {
+		t.Errorf("missing flow start:\n%s", out)
+	}
+	if !strings.Contains(out, "\"ph\": \"f\", \"bp\": \"e\", \"id\": 7, \"ts\": 9") {
+		t.Errorf("missing flow finish:\n%s", out)
+	}
+
+	// Nil lanes swallow flow calls like every other record.
+	var nilLane *Lane
+	nilLane.FlowStart("x", "y", 1, 2)
+	nilLane.FlowEnd("x", "y", 1, 2)
+}
+
+// TestRecordDrops: the trace's drop tally surfaces as the obs.dropped
+// counter in the metrics registry, so it reaches the metrics JSON rather
+// than staying an internal number.
+func TestRecordDrops(t *testing.T) {
+	tr := NewTrace()
+	tr.SetLimit(2)
+	l := tr.Lane(1, 1)
+	for i := 0; i < 5; i++ {
+		l.Instant("e", "c", int64(i))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	r := NewRegistry()
+	RecordDrops(tr, r)
+	if got := r.Counter("obs.dropped").Value(); got != 3 {
+		t.Errorf("obs.dropped = %d, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"name\": \"obs.dropped\", \"type\": \"counter\", \"value\": 3") {
+		t.Errorf("obs.dropped missing from metrics JSON:\n%s", buf.String())
+	}
+
+	// Nil-safe in both directions.
+	RecordDrops(nil, r)
+	RecordDrops(tr, nil)
+}

@@ -11,9 +11,11 @@ import (
 // CheckTraceShape asserts raw is a schema-shaped Chrome trace-event file:
 // a JSON object with a non-empty traceEvents array and a drop counter,
 // every event carrying name/ph/pid/tid, phases drawn from the emitted set
-// (M metadata, X complete, C counter, i instant), complete events with a
-// non-negative duration, and events time-ordered within each (pid, tid)
-// lane — the properties Perfetto and chrome://tracing rely on.
+// (M metadata, X complete, C counter, i instant, s/f flow), complete
+// events with a non-negative duration, flow events with a binding id and
+// every start matched by exactly one finish, and events time-ordered
+// within each (pid, tid) lane — the properties Perfetto and
+// chrome://tracing rely on.
 func CheckTraceShape(t *testing.T, raw []byte) {
 	t.Helper()
 	var top struct {
@@ -34,6 +36,8 @@ func CheckTraceShape(t *testing.T, raw []byte) {
 		t.Error("otherData.droppedEvents missing")
 	}
 	lastTS := map[[2]float64]float64{}
+	flowStarts := map[float64]int{}
+	flowEnds := map[float64]int{}
 	for i, e := range top.TraceEvents {
 		for _, key := range []string{"name", "ph", "pid", "tid"} {
 			if _, ok := e[key]; !ok {
@@ -59,6 +63,23 @@ func CheckTraceShape(t *testing.T, raw []byte) {
 			if _, ok := e["ts"]; !ok {
 				t.Errorf("event %d missing ts: %v", i, e)
 			}
+		case "s", "f":
+			if _, ok := e["ts"]; !ok {
+				t.Errorf("flow event %d missing ts: %v", i, e)
+			}
+			id, ok := e["id"].(float64)
+			if !ok {
+				t.Errorf("flow event %d missing id: %v", i, e)
+				continue
+			}
+			if ph == "s" {
+				flowStarts[id]++
+			} else {
+				flowEnds[id]++
+				if bp, _ := e["bp"].(string); bp != "e" {
+					t.Errorf("flow finish %d lacks bp \"e\": %v", i, e)
+				}
+			}
 		default:
 			t.Errorf("event %d has unknown phase %q", i, ph)
 			continue
@@ -71,5 +92,15 @@ func CheckTraceShape(t *testing.T, raw []byte) {
 			t.Errorf("event %d out of order within lane %v: ts %v after %v", i, lane, ts, prev)
 		}
 		lastTS[lane] = ts
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			t.Errorf("flow id %v has %d starts but %d finishes", id, n, flowEnds[id])
+		}
+	}
+	for id, n := range flowEnds {
+		if _, ok := flowStarts[id]; !ok {
+			t.Errorf("flow id %v has %d finishes but no start", id, n)
+		}
 	}
 }

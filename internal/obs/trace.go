@@ -29,10 +29,11 @@ type laneKey struct{ pid, tid int }
 
 type event struct {
 	name, cat string
-	ph        byte // 'X' complete, 'C' counter, 'i' instant
+	ph        byte // 'X' complete, 'C' counter, 'i' instant, 's'/'f' flow
 	ts, dur   int64
 	pid, tid  int
 	seq       int64
+	id        int64 // flow-event binding id ('s'/'f' only)
 	args      []Arg
 }
 
@@ -216,6 +217,37 @@ func (l *Lane) Instant(name, cat string, ts int64, args ...Arg) {
 	l.t.emit(event{name: name, cat: cat, ph: 'i', ts: ts, pid: l.pid, tid: l.tid, args: args})
 }
 
+// FlowStart appends a flow-start event ('s') at an explicit timestamp. A
+// flow links two points of the trace — Perfetto draws an arrow from the
+// start to the matching FlowEnd with the same id — and is how the
+// simulator's produce→consume pairs are made visible across core lanes.
+func (l *Lane) FlowStart(name, cat string, id, ts int64) {
+	if l == nil {
+		return
+	}
+	l.t.emit(event{name: name, cat: cat, ph: 's', ts: ts, pid: l.pid, tid: l.tid, id: id})
+}
+
+// FlowEnd appends the matching flow-finish event ('f', binding point
+// "enclosing slice") for the FlowStart with the same id.
+func (l *Lane) FlowEnd(name, cat string, id, ts int64) {
+	if l == nil {
+		return
+	}
+	l.t.emit(event{name: name, cat: cat, ph: 'f', ts: ts, pid: l.pid, tid: l.tid, id: id})
+}
+
+// RecordDrops surfaces the trace's drop tally as the "obs.dropped" counter
+// in r, so metrics consumers see how many timeline events fell past the
+// event limit without having to consult the trace file's otherData. Call it
+// once, after the run and before serializing r; nil t or r records nothing.
+func RecordDrops(t *Trace, r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.Counter("obs.dropped").Add(t.Dropped())
+}
+
 // WriteJSON renders the trace in Chrome trace-event format: a JSON
 // object with a traceEvents array that loads in chrome://tracing and
 // Perfetto. Output is deterministic: metadata first (sorted by pid, tid),
@@ -310,6 +342,12 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		case 'i':
 			err = line("{\"name\": %s, \"cat\": %s, \"ph\": \"i\", \"ts\": %d, \"pid\": %d, \"tid\": %d, \"s\": \"t\", \"args\": {%s}}",
 				jsonString(e.name), jsonString(e.cat), e.ts, e.pid, e.tid, args)
+		case 's':
+			err = line("{\"name\": %s, \"cat\": %s, \"ph\": \"s\", \"id\": %d, \"ts\": %d, \"pid\": %d, \"tid\": %d, \"args\": {%s}}",
+				jsonString(e.name), jsonString(e.cat), e.id, e.ts, e.pid, e.tid, args)
+		case 'f':
+			err = line("{\"name\": %s, \"cat\": %s, \"ph\": \"f\", \"bp\": \"e\", \"id\": %d, \"ts\": %d, \"pid\": %d, \"tid\": %d, \"args\": {%s}}",
+				jsonString(e.name), jsonString(e.cat), e.id, e.ts, e.pid, e.tid, args)
 		}
 		if err != nil {
 			return err

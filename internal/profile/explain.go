@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attr"
+)
+
+// Explanation decomposes the cycle difference between two profiled runs
+// into per-bucket attribution deltas. The decomposition is exact: because
+// each run's buckets conserve (they sum to cores × cycles), the per-bucket
+// per-core-average deltas sum to exactly A.Cycles - B.Cycles. All
+// arithmetic is integer (a common denominator of A.Cores × B.Cores), so
+// rendering is byte-deterministic.
+type Explanation struct {
+	// A is the baseline run, B the subject ("B against A").
+	A, B *Report
+}
+
+// Explain builds the explanation of B's cycles against baseline A.
+func Explain(a, b *Report) *Explanation { return &Explanation{A: a, B: b} }
+
+// Delta returns A.Cycles - B.Cycles: positive means B is faster.
+func (e *Explanation) Delta() int64 { return e.A.Cycles - e.B.Cycles }
+
+// BucketDelta returns bucket b's contribution to Delta as the exact
+// rational num/den: the per-core-average cycles of the bucket in A minus
+// those in B, over the common denominator den = A.Cores × B.Cores. The
+// nums over all buckets sum to Delta × den.
+func (e *Explanation) BucketDelta(b attr.Bucket) (num, den int64) {
+	ta, tb := e.A.Attr.TotalBuckets(), e.B.Attr.TotalBuckets()
+	ca, cb := int64(e.A.Cores), int64(e.B.Cores)
+	return ta[b]*cb - tb[b]*ca, ca * cb
+}
+
+// check verifies the exact decomposition identity; it can only fail if a
+// report's attribution does not conserve, which Run already rejects.
+func (e *Explanation) check() error {
+	var sum int64
+	var den int64
+	for b := attr.Bucket(0); b < attr.NumBuckets; b++ {
+		var n int64
+		n, den = e.BucketDelta(b)
+		sum += n
+	}
+	if want := e.Delta() * den; sum != want {
+		return fmt.Errorf("profile: bucket deltas sum to %d/%d, cycle delta is %d", sum, den, e.Delta())
+	}
+	return nil
+}
+
+// Render writes the explanation as deterministic text: the speedup of B
+// over A and a per-bucket table decomposing the cycle delta. top bounds
+// the critical-path comparison lists (<= 0 means all).
+func (e *Explanation) Render(w io.Writer, top int) error {
+	if err := e.check(); err != nil {
+		return err
+	}
+	a, b := e.A, e.B
+	if _, err := fmt.Fprintf(w, "== explain %s against %s ==\n", b.label(), a.label()); err != nil {
+		return err
+	}
+	// Speedup in fixed-point thousandths: integer math, deterministic.
+	sp := int64(0)
+	if b.Cycles > 0 {
+		sp = 1000 * a.Cycles / b.Cycles
+	}
+	fmt.Fprintf(w, "cycles: %s=%d  %s=%d  delta=%d  speedup=%d.%03dx\n",
+		a.Program+"/"+a.Partitioner, a.Cycles, b.Program+"/"+b.Partitioner, b.Cycles,
+		e.Delta(), sp/1000, sp%1000)
+	fmt.Fprintf(w, "\ncycle-delta decomposition (per-core average, exact):\n")
+	fmt.Fprintf(w, "  %-14s %12s %12s %14s\n", "bucket", "baseline", "subject", "delta-cycles")
+	ta, tb := a.Attr.TotalBuckets(), b.Attr.TotalBuckets()
+	ca, cb := int64(a.Cores), int64(b.Cores)
+	for bk := attr.Bucket(0); bk < attr.NumBuckets; bk++ {
+		num, den := e.BucketDelta(bk)
+		fmt.Fprintf(w, "  %-14s %12s %12s %14s\n", bk,
+			ratio(ta[bk], ca), ratio(tb[bk], cb), ratio(num, den))
+	}
+	fmt.Fprintf(w, "  %-14s %12s %12s %14d\n", "(sum)",
+		ratio(ta.Total(), ca), ratio(tb.Total(), cb), e.Delta())
+
+	fmt.Fprintf(w, "\ncritical path: baseline length=%d (%d events), subject length=%d (%d events)\n",
+		a.Path.Length, a.Path.Nodes, b.Path.Length, b.Path.Nodes)
+	fmt.Fprintf(w, "subject top critical-path instructions:\n")
+	for i, ib := range capTop(b.Path.Instrs, top) {
+		fmt.Fprintf(w, "  %2d. %8d cy  n=%-7d core%d #%d: %s\n",
+			i+1, ib.Cycles, ib.Count, ib.Core, ib.ID, ib.Label)
+	}
+	fmt.Fprintf(w, "subject top critical-path queues:\n")
+	for i, qb := range capTopQ(b.Path.Queues, top) {
+		if _, err := fmt.Fprintf(w, "  %2d. %8d cy  n=%-7d q%d\n", i+1, qb.Cycles, qb.Count, qb.Queue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns a one-line explanation for figure annotations: the two
+// largest per-bucket contributions to the cycle delta, signed from the
+// subject's perspective (savings first).
+func (e *Explanation) Summary() string {
+	type contrib struct {
+		b   attr.Bucket
+		num int64
+	}
+	var cs []contrib
+	var den int64
+	for b := attr.Bucket(0); b < attr.NumBuckets; b++ {
+		var n int64
+		n, den = e.BucketDelta(b)
+		if n != 0 {
+			cs = append(cs, contrib{b, n})
+		}
+	}
+	// Largest magnitude first; ties keep bucket order (stable by
+	// construction of the insertion order plus strict comparison).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && abs64(cs[j].num) > abs64(cs[j-1].num); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	if len(cs) > 2 {
+		cs = cs[:2]
+	}
+	s := ""
+	for i, c := range cs {
+		if i > 0 {
+			s += ", "
+		}
+		sign := "+"
+		if c.num < 0 {
+			sign = "-"
+		}
+		s += fmt.Sprintf("%s%s %s cy", sign, c.b, ratio(abs64(c.num), den))
+	}
+	if s == "" {
+		return "no cycle delta"
+	}
+	return s
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ratio renders num/den in tenths without floating point (exact integer
+// arithmetic, round-toward-zero), so output never depends on FP behavior.
+func ratio(num, den int64) string {
+	if den == 0 {
+		return "0.0"
+	}
+	t := 10 * num / den
+	sign := ""
+	if t < 0 {
+		sign, t = "-", -t
+	}
+	return fmt.Sprintf("%s%d.%d", sign, t/10, t%10)
+}

@@ -3,7 +3,9 @@ package sim
 import (
 	"math"
 
+	"repro/internal/attr"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // portClass buckets instructions onto Itanium 2 issue ports. Communication
@@ -47,15 +49,39 @@ func (s *system) latencyOf(op ir.Op) int64 {
 	return 1
 }
 
+// cycleTag is stepCore's attribution verdict for one core-cycle: the cause
+// bucket, the static instruction to blame (-1 only for Idle), and the queue
+// to blame (-1 if none). When the core issued, the tag is Issue blaming the
+// first instruction of the issue group; otherwise it names the first
+// blocking hazard.
+type cycleTag struct {
+	bucket attr.Bucket
+	instr  int
+	queue  int
+}
+
+// blockTag resolves the cycle's tag at a stop site: Issue if anything
+// already issued this cycle, else the blocking cause.
+func blockTag(issued, firstID int, b attr.Bucket, instr, queue int) cycleTag {
+	if issued > 0 {
+		return cycleTag{bucket: attr.Issue, instr: firstID, queue: -1}
+	}
+	return cycleTag{bucket: b, instr: instr, queue: queue}
+}
+
 // stepCore issues as many instructions as the core can this cycle (in
 // order, bounded by issue width, port availability, operand readiness and
-// queue state). It returns the number of instructions issued.
-func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
+// queue state). It returns the number of instructions issued and the
+// cycle's attribution tag (meaningful only on attribution runs).
+func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag) {
 	if cycle < c.fetchReady {
-		return 0
+		// Front-end bubble after a mispredict: blame the instruction whose
+		// fetch is delayed.
+		return 0, cycleTag{bucket: attr.Branch, instr: c.blk.Instrs[c.idx].ID, queue: -1}
 	}
 	cfg := &s.cfg
 	issued := 0
+	firstID := -1
 	ports := [4]int{}
 	limits := [4]int{cfg.ALUPorts, cfg.MemPorts, cfg.FPPorts, cfg.BranchPorts}
 
@@ -63,10 +89,13 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 		in := c.blk.Instrs[c.idx]
 		cls := classify(in.Op)
 		if ports[cls] >= limits[cls] {
-			break // structural hazard; in-order issue stops
+			// Structural hazard; in-order issue stops. At issued == 0 this
+			// is only reachable with a zero-port config.
+			return issued, blockTag(issued, firstID, attr.DepStall, in.ID, -1)
 		}
 		// Operand readiness (stall-on-use: the stall happens here, at
-		// the first instruction that needs a late value).
+		// the first instruction that needs a late value). The stall is
+		// blamed on the cause of the latest-arriving unready operand.
 		opsReady := true
 		for _, r := range in.Srcs {
 			if c.ready[r] > cycle {
@@ -75,16 +104,36 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			}
 		}
 		if !opsReady {
-			break
+			b, bq := attr.DepStall, -1
+			if c.readyCause != nil {
+				var bestT int64 = -1
+				for _, r := range in.Srcs {
+					if c.ready[r] > cycle && c.ready[r] > bestT {
+						bestT = c.ready[r]
+						b = attr.Bucket(c.readyCause[r])
+						bq = int(c.readyQueue[r])
+					}
+				}
+			}
+			return issued, blockTag(issued, firstID, b, in.ID, bq)
 		}
+
+		// done is the cycle the instruction's result becomes usable (the
+		// Event.Done the profiler builds dependence edges from); evQueue
+		// and evTimes describe communication effects.
+		done := cycle + 1
+		evQueue, evTimes := -1, 1
+		stop := false // terminator: the issue group ends here
 
 		switch in.Op {
 		case ir.Produce, ir.ProduceSync:
 			if s.queues[in.Queue].inFlight() >= s.qcap {
-				return issued // queue full: blocked
+				// Queue full: blocked until the consumer frees a slot.
+				return issued, blockTag(issued, firstID, attr.QueueFull, in.ID, in.Queue)
 			}
 			if *saPortsUsed >= cfg.SAPorts {
-				return issued // SA request ports exhausted this cycle
+				// SA request ports exhausted this cycle: contention.
+				return issued, blockTag(issued, firstID, attr.CommLatency, in.ID, in.Queue)
 			}
 			*saPortsUsed++
 			v := int64(0)
@@ -108,18 +157,33 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 				if s.saLane != nil {
 					s.saLane.Counter(s.qnames[tq], cycle, "depth", int64(q.inFlight()))
 				}
+				if s.flows {
+					s.flowSeq++
+					q.flowID = append(q.flowID, s.flowSeq)
+					s.coreLanes[c.id].FlowStart(s.qnames[tq], "sa", s.flowSeq, cycle)
+				}
 			}
+			if s.flows {
+				s.coreLanes[c.id].SpanAt("produce", "sa", cycle, 1, obs.A("q", int64(tq)))
+			}
+			done = cycle + int64(cfg.SALatency)
+			evQueue, evTimes = tq, times
 		case ir.Consume, ir.ConsumeSync:
 			q := s.queues[in.Queue]
 			if q.nextPop >= len(q.vals) {
-				return issued // nothing produced yet: blocked
+				// Nothing produced yet: the producing thread is behind.
+				return issued, blockTag(issued, firstID, attr.QueueEmpty, in.ID, in.Queue)
 			}
 			if *saPortsUsed >= cfg.SAPorts {
-				return issued
+				return issued, blockTag(issued, firstID, attr.CommLatency, in.ID, in.Queue)
 			}
 			*saPortsUsed++
 			v := q.vals[q.nextPop]
 			arr := q.arrival[q.nextPop]
+			if s.flows {
+				s.coreLanes[c.id].SpanAt("consume", "sa", cycle, 1, obs.A("q", int64(in.Queue)))
+				s.coreLanes[c.id].FlowEnd(s.qnames[in.Queue], "sa", q.flowID[q.nextPop], cycle)
+			}
 			q.nextPop++
 			c.stats.Consumes++
 			s.qstats[in.Queue].Consumed++
@@ -134,21 +198,32 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 					arr = cycle + 1
 				}
 				c.ready[in.Dst] = arr
+				if c.readyCause != nil {
+					c.readyCause[in.Dst] = uint8(attr.CommLatency)
+					c.readyQueue[in.Dst] = int32(in.Queue)
+				}
+				done = arr
 			}
+			evQueue = in.Queue
 		case ir.Load:
 			addr := c.regs[in.Srcs[0]] + in.Imm
 			if addr < 0 || addr >= int64(len(s.mem)) {
 				s.fault(c, in, addr)
-				return issued
+				return issued, blockTag(issued, firstID, attr.Memory, in.ID, -1)
 			}
 			lat := c.caches.load(addr, &c.stats.Mem)
 			c.regs[in.Dst] = s.mem[addr]
 			c.ready[in.Dst] = cycle + int64(lat)
+			if c.readyCause != nil {
+				c.readyCause[in.Dst] = uint8(attr.Memory)
+				c.readyQueue[in.Dst] = -1
+			}
+			done = cycle + int64(lat)
 		case ir.Store:
 			addr := c.regs[in.Srcs[1]] + in.Imm
 			if addr < 0 || addr >= int64(len(s.mem)) {
 				s.fault(c, in, addr)
-				return issued
+				return issued, blockTag(issued, firstID, attr.Memory, in.ID, -1)
 			}
 			var others []*hierarchy
 			for _, o := range s.cores {
@@ -164,6 +239,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 			if taken != predTaken {
 				c.stats.Mispreds++
 				c.fetchReady = cycle + 1 + int64(cfg.MispredictPenalty)
+				done = c.fetchReady
 			}
 			// 2-bit saturating counter update.
 			if taken && c.pred[in.ID] < 3 {
@@ -176,16 +252,10 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 				next = c.blk.Succs[0]
 			}
 			c.blk, c.idx = next, 0
-			ports[cls]++
-			c.stats.Instrs++
-			issued++
-			return issued // control transfer ends the issue group
+			stop = true // control transfer ends the issue group
 		case ir.Jump:
 			c.blk, c.idx = c.blk.Succs[0], 0
-			ports[cls]++
-			c.stats.Instrs++
-			issued++
-			return issued
+			stop = true
 		case ir.Ret:
 			c.done = true
 			if len(in.Srcs) > 0 {
@@ -194,20 +264,32 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) int {
 					c.outs = append(c.outs, c.regs[r])
 				}
 			}
-			c.stats.Instrs++
-			issued++
-			return issued
+			stop = true
 		default:
 			execALU(in, c.regs)
 			c.ready[in.Dst] = cycle + s.latencyOf(in.Op)
+			if c.readyCause != nil {
+				c.readyCause[in.Dst] = uint8(attr.DepStall)
+				c.readyQueue[in.Dst] = -1
+			}
+			done = cycle + s.latencyOf(in.Op)
 		}
 
 		ports[cls]++
 		c.stats.Instrs++
 		issued++
+		if firstID < 0 {
+			firstID = in.ID
+		}
+		if s.events != nil {
+			s.events(Event{Core: c.id, In: in, Issue: cycle, Done: done, Queue: evQueue, Times: evTimes})
+		}
+		if stop {
+			return issued, cycleTag{bucket: attr.Issue, instr: firstID, queue: -1}
+		}
 		c.idx++
 	}
-	return issued
+	return issued, blockTag(issued, firstID, attr.DepStall, -1, -1)
 }
 
 // fault records an out-of-range memory access and halts the core.

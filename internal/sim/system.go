@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -55,6 +56,12 @@ type Result struct {
 	PerQueue []QueueStats
 	LiveOuts []int64
 	Mem      []int64
+	// Attr is the cycle attribution (Observer.Attr runs only): every
+	// core-cycle tagged with a cause bucket, per core, per static
+	// instruction, and per queue arc. Per-core bucket sums equal Cycles
+	// exactly — attribution is observational and conserves by
+	// construction.
+	Attr *attr.Run
 }
 
 // IPC returns total instructions per cycle across cores.
@@ -74,6 +81,10 @@ type saQueue struct {
 	vals    []int64
 	arrival []int64 // cycle each value becomes visible to the consumer
 	nextPop int     // index of next value to consume
+	// flowID (flow-tracing runs only) carries the trace flow-event binding
+	// id each value was produced under, so the matching consume can close
+	// the produce→consume arrow.
+	flowID []int64
 }
 
 func (q *saQueue) inFlight() int { return len(q.vals) - q.nextPop }
@@ -93,6 +104,14 @@ type core struct {
 	pred       []uint8 // 2-bit predictor state per instruction ID
 	outs       []int64
 	stats      CoreStats
+
+	// readyCause/readyQueue (attribution runs only) remember why each
+	// register's value is late: the attr.Bucket of the producing
+	// instruction class (DepStall, Memory, CommLatency) and the queue a
+	// consumed value travelled through (-1 otherwise). A stall-on-use
+	// cycle is blamed on the cause of the latest-arriving unready operand.
+	readyCause []uint8
+	readyQueue []int32
 }
 
 // system couples the cores, the shared L3, and the SA.
@@ -111,6 +130,39 @@ type system struct {
 	saLane    *obs.Lane
 	coreLanes []*obs.Lane
 	qnames    []string // cached "q<N>" counter-track names
+
+	// Attribution sinks (all optional, observational only).
+	attr    *attr.Run   // cycle-cause tally, conserving per core
+	events  func(Event) // per-issued-instruction stream for the profiler
+	flows   bool        // emit produce→consume flow events on coreLanes
+	flowSeq int64       // deterministic flow-event binding ids
+}
+
+// Event is one issued instruction instance, streamed to Observer.Events as
+// the simulation advances. The profiler (internal/profile) reconstructs the
+// run's dynamic dependence graph from this stream: In identifies the static
+// instruction, Issue/Done bound its execution in cycles, and Queue/Times
+// describe what a communication instruction did to the synchronization
+// array. Events are emitted in deterministic order: cycle-major, core-minor,
+// issue-slot-minor.
+type Event struct {
+	// Core is the issuing core.
+	Core int
+	// In is the issued static instruction (of the core's thread function).
+	In *ir.Instr
+	// Issue is the cycle the instruction issued.
+	Issue int64
+	// Done is the cycle the instruction's result becomes usable: operand
+	// ready time for value-producing instructions, SA arrival for
+	// produces, branch-resolution (including any mispredict bubble) for
+	// branches, Issue+1 otherwise.
+	Done int64
+	// Queue is the effective synchronization-array queue touched (after
+	// any fault injection), or -1 for non-communication instructions.
+	Queue int
+	// Times is the number of values a produce actually landed (0 under an
+	// injected drop, 2 under a dup); 1 for everything else.
+	Times int
 }
 
 // Observer carries the optional observability sinks for one simulation
@@ -130,6 +182,20 @@ type Observer struct {
 	// Pid is the trace process ID the run's lanes are placed under; the
 	// caller labels it with Trace.ProcessName.
 	Pid int
+	// Attr enables cycle attribution: every core-cycle is tagged with a
+	// cause bucket into Result.Attr, conserving exactly (per-core bucket
+	// sums equal Result.Cycles). Attribution is observational — it never
+	// changes timing.
+	Attr bool
+	// Events, when non-nil, receives one Event per issued instruction, in
+	// deterministic (cycle, core, issue-slot) order. The profiler uses the
+	// stream to reconstruct the run's dynamic dependence graph.
+	Events func(Event)
+	// Flows additionally emits produce→consume flow events (and the
+	// 1-cycle comm spans they bind to) on the per-core trace lanes, so
+	// Perfetto draws cross-core arrows for every matched SA pair.
+	// Requires Trace.
+	Flows bool
 }
 
 // Run simulates the threads to completion on the configured machine and
@@ -220,6 +286,24 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 			sys.coreLanes[i] = ob.Trace.Lane(ob.Pid, i+1)
 			ob.Trace.ThreadName(ob.Pid, i+1, fmt.Sprintf("core%d", i))
 		}
+		sys.flows = ob.Flows
+	}
+	if ob != nil {
+		sys.events = ob.Events
+		if ob.Attr {
+			ids := make([]int, len(threads))
+			for i, f := range threads {
+				ids[i] = f.NumInstrIDs()
+			}
+			sys.attr = attr.NewRun("cycles", ids, numQueues)
+			for _, c := range sys.cores {
+				c.readyCause = make([]uint8, len(c.ready))
+				c.readyQueue = make([]int32, len(c.ready))
+				for r := range c.readyQueue {
+					c.readyQueue[r] = -1
+				}
+			}
+		}
 	}
 
 	// stallStart[i] is the cycle core i's current issue-stall episode
@@ -237,25 +321,39 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 
 	var cycle, lastProgress int64
 	for {
-		saPortsUsed := 0
+		// Termination is checked before the cycle is simulated so that
+		// attribution sees exactly Result.Cycles iterations: every core
+		// gets exactly one bucket note per counted cycle.
 		allDone := true
+		for _, c := range sys.cores {
+			if !c.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		saPortsUsed := 0
 		anyIssued := false
 		for ci, c := range sys.cores {
 			if c.done {
+				sys.attr.Note(ci, attr.Idle, -1, -1)
 				continue
 			}
-			allDone = false
 			if sys.inj.Stall(ci, len(sys.cores)) {
 				// Frozen core: issues nothing this cycle. The freeze window
 				// always expires (far below the no-progress watchdog), so a
 				// stall can delay but never deadlock the simulation.
 				c.stats.IssueStallCycles++
+				sys.attr.Note(ci, attr.Fault, c.blk.Instrs[c.idx].ID, -1)
 				if sys.coreLanes != nil && stallStart[ci] < 0 {
 					stallStart[ci] = cycle
 				}
 				continue
 			}
-			issued := sys.stepCore(c, cycle, &saPortsUsed)
+			issued, tag := sys.stepCore(c, cycle, &saPortsUsed)
+			sys.attr.Note(ci, tag.bucket, tag.instr, tag.queue)
 			if issued > 0 {
 				anyIssued = true
 				if stallStart[ci] >= 0 {
@@ -271,9 +369,6 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		}
 		if sys.err != nil {
 			return nil, sys.err
-		}
-		if allDone {
-			break
 		}
 		if anyIssued {
 			lastProgress = cycle
@@ -295,7 +390,7 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		}
 	}
 
-	res := &Result{Cycles: cycle, PerQueue: sys.qstats, Mem: mem}
+	res := &Result{Cycles: cycle, PerQueue: sys.qstats, Mem: mem, Attr: sys.attr}
 	for _, c := range sys.cores {
 		res.PerCore = append(res.PerCore, c.stats)
 		if c.outs != nil {
