@@ -14,6 +14,7 @@ package gmt_test
 import (
 	"flag"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -33,21 +34,38 @@ var (
 	suiteRec  *benchsuite.Recorder
 )
 
+// allocMark snapshots the runtime's cumulative allocation counters so a
+// benchmark can report per-op allocations alongside ns/op. Take the mark
+// after setup (where b.ResetTimer goes) and pass it to suiteRecord.
+type allocMark struct {
+	mallocs, bytes uint64
+}
+
+func markAllocs() allocMark {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return allocMark{mallocs: m.Mallocs, bytes: m.TotalAlloc}
+}
+
 // suiteRecord appends one BenchmarkSuite result to BENCH_pipeline.json.
 // It records only when benchmarks actually run (-bench is set), so plain
 // `go test` never touches the file.
-func suiteRecord(b *testing.B, metrics map[string]float64) {
+func suiteRecord(b *testing.B, mark allocMark, metrics map[string]float64) {
 	b.Helper()
 	f := flag.Lookup("test.bench")
 	if f == nil || f.Value.String() == "" {
 		return
 	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
 	suiteOnce.Do(func() { suiteRec = benchsuite.NewRecorder("BENCH_pipeline.json") })
 	res := benchsuite.Result{
-		Name:       b.Name(),
-		Iterations: b.N,
-		NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		Metrics:    metrics,
+		Name:        b.Name(),
+		Iterations:  b.N,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp: float64(m.Mallocs-mark.mallocs) / float64(b.N),
+		BytesPerOp:  float64(m.TotalAlloc-mark.bytes) / float64(b.N),
+		Metrics:     metrics,
 	}
 	if err := suiteRec.Record(res); err != nil {
 		b.Fatal(err)
@@ -65,40 +83,57 @@ func suiteWorkload(b *testing.B, name string) *workloads.Workload {
 
 func BenchmarkSuitePDGBuild(b *testing.B) {
 	w := suiteWorkload(b, "ks")
+	mark := markAllocs()
+	b.ResetTimer()
 	var g *pdg.Graph
 	for i := 0; i < b.N; i++ {
 		g = pdg.Build(w.F, w.Objects)
 	}
-	suiteRecord(b, map[string]float64{
+	suiteRecord(b, mark, map[string]float64{
 		"arcs":  float64(g.NumArcs()),
 		"nodes": float64(w.F.NumInstrs()),
 	})
 }
 
 func BenchmarkSuiteMinCutDinic(b *testing.B) {
+	mark := markAllocs()
 	var flow int64
 	for i := 0; i < b.N; i++ {
 		g, s, t := cfgShapedGraph(60, rand.New(rand.NewSource(5)))
 		flow = g.MaxFlowDinic(s, t)
 		g.MinCutSourceSide(s)
 	}
-	suiteRecord(b, map[string]float64{"max-flow": float64(flow)})
+	suiteRecord(b, mark, map[string]float64{"max-flow": float64(flow)})
 }
 
 func BenchmarkSuiteMinCutEdmondsKarp(b *testing.B) {
+	mark := markAllocs()
 	var flow int64
 	for i := 0; i < b.N; i++ {
 		g, s, t := cfgShapedGraph(60, rand.New(rand.NewSource(5)))
 		flow = g.MaxFlow(s, t)
 		g.MinCutSourceSide(s)
 	}
-	suiteRecord(b, map[string]float64{"max-flow": float64(flow)})
+	suiteRecord(b, mark, map[string]float64{"max-flow": float64(flow)})
+}
+
+func BenchmarkSuiteMinCutPushRelabel(b *testing.B) {
+	mark := markAllocs()
+	var flow int64
+	for i := 0; i < b.N; i++ {
+		g, s, t := cfgShapedGraph(60, rand.New(rand.NewSource(5)))
+		flow = g.MaxFlowPushRelabel(s, t)
+		g.MinCutSourceSide(s)
+	}
+	suiteRecord(b, mark, map[string]float64{"max-flow": float64(flow)})
 }
 
 // benchSuitePipeline times the full compilation pipeline (profile, PDG,
 // partition, MTCG, COCO, queue allocation) for one workload × partitioner.
 func benchSuitePipeline(b *testing.B, workload string, part partition.Partitioner) {
 	w := suiteWorkload(b, workload)
+	mark := markAllocs()
+	b.ResetTimer()
 	var p *exp.Pipeline
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -107,7 +142,7 @@ func benchSuitePipeline(b *testing.B, workload string, part partition.Partitione
 			b.Fatal(err)
 		}
 	}
-	suiteRecord(b, map[string]float64{
+	suiteRecord(b, mark, map[string]float64{
 		"coco-instrs":  suiteProgInstrs(p, true),
 		"coco-queues":  float64(p.Coco.NumQueues),
 		"naive-instrs": suiteProgInstrs(p, false),
@@ -145,6 +180,7 @@ func BenchmarkSuiteMTInterpKS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	mark := markAllocs()
 	b.ResetTimer()
 	var mt *interp.MTResult
 	for i := 0; i < b.N; i++ {
@@ -158,7 +194,7 @@ func BenchmarkSuiteMTInterpKS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	suiteRecord(b, map[string]float64{
+	suiteRecord(b, mark, map[string]float64{
 		"produce": float64(mt.Stats.Produce),
 		"steps":   float64(mt.Steps),
 	})
@@ -170,6 +206,7 @@ func BenchmarkSuiteSimKS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	mark := markAllocs()
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
@@ -178,5 +215,5 @@ func BenchmarkSuiteSimKS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	suiteRecord(b, map[string]float64{"cycles": float64(cycles)})
+	suiteRecord(b, mark, map[string]float64{"cycles": float64(cycles)})
 }

@@ -25,6 +25,14 @@ type Result struct {
 	// NsPerOp is wall-clock nanoseconds per iteration (noisy; compare
 	// with judgement).
 	NsPerOp float64
+	// AllocsPerOp is heap allocations per iteration. Unlike ns/op it is
+	// nearly deterministic (runtime-internal allocations add small noise),
+	// so Diff gates on it with a slack band rather than exact equality.
+	// Zero means "not recorded" in artifacts predating the field.
+	AllocsPerOp float64
+	// BytesPerOp is heap bytes allocated per iteration; same contract as
+	// AllocsPerOp.
+	BytesPerOp float64
 	// Metrics holds the benchmark's deterministic quantities.
 	Metrics map[string]float64
 }
@@ -66,7 +74,9 @@ func (r *Recorder) Record(res Result) error {
 
 // WriteJSON renders results sorted by name with stable field ordering:
 // one benchmark per line, fields in the order name, iterations, ns_per_op,
-// metrics (keys sorted). Everything but ns_per_op is deterministic.
+// allocs_per_op, bytes_per_op, metrics (keys sorted). Everything but
+// ns_per_op (and small runtime noise in the allocation counters) is
+// deterministic.
 func WriteJSON(w io.Writer, results []Result) error {
 	rs := append([]Result(nil), results...)
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
@@ -90,8 +100,9 @@ func WriteJSON(w io.Writer, results []Result) error {
 			}
 			metrics += fmt.Sprintf("%q: %s", k, formatFloat(r.Metrics[k]))
 		}
-		if _, err := fmt.Fprintf(w, "%s\n{\"name\": %q, \"iterations\": %d, \"ns_per_op\": %s, \"metrics\": {%s}}",
-			sep, r.Name, r.Iterations, formatFloat(r.NsPerOp), metrics); err != nil {
+		if _, err := fmt.Fprintf(w, "%s\n{\"name\": %q, \"iterations\": %d, \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"metrics\": {%s}}",
+			sep, r.Name, r.Iterations, formatFloat(r.NsPerOp),
+			formatFloat(r.AllocsPerOp), formatFloat(r.BytesPerOp), metrics); err != nil {
 			return err
 		}
 	}
@@ -113,10 +124,12 @@ func ReadFile(path string) ([]Result, error) {
 	}
 	var doc struct {
 		Benchmarks []struct {
-			Name       string             `json:"name"`
-			Iterations int                `json:"iterations"`
-			NsPerOp    float64            `json:"ns_per_op"`
-			Metrics    map[string]float64 `json:"metrics"`
+			Name        string             `json:"name"`
+			Iterations  int                `json:"iterations"`
+			NsPerOp     float64            `json:"ns_per_op"`
+			AllocsPerOp float64            `json:"allocs_per_op"`
+			BytesPerOp  float64            `json:"bytes_per_op"`
+			Metrics     map[string]float64 `json:"metrics"`
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
@@ -124,15 +137,31 @@ func ReadFile(path string) ([]Result, error) {
 	}
 	rs := make([]Result, 0, len(doc.Benchmarks))
 	for _, b := range doc.Benchmarks {
-		rs = append(rs, Result{Name: b.Name, Iterations: b.Iterations, NsPerOp: b.NsPerOp, Metrics: b.Metrics})
+		rs = append(rs, Result{
+			Name: b.Name, Iterations: b.Iterations, NsPerOp: b.NsPerOp,
+			AllocsPerOp: b.AllocsPerOp, BytesPerOp: b.BytesPerOp, Metrics: b.Metrics,
+		})
 	}
 	return rs, nil
 }
 
+// Allocation-regression slack: allocation counts are near-deterministic
+// but the runtime contributes a few of its own (GC metadata, map growth
+// timing), so the gate flags only growth beyond a relative band plus an
+// absolute floor that absorbs that jitter on tiny baselines.
+const (
+	allocSlackRatio = 1.25
+	allocSlackFloor = 8
+	bytesSlackFloor = 1024
+)
+
 // Diff compares a fresh run's deterministic work metrics against a
 // baseline, returning one human-readable line per drift (empty = no
-// drift). Only Metrics participate: ns_per_op is wall-clock noise and
-// iteration counts depend on -benchtime, so both are ignored. A baseline
+// drift). Metrics must match exactly: ns_per_op is wall-clock noise and
+// iteration counts depend on -benchtime, so both are ignored. Allocation
+// counters regress when fresh exceeds baseline by more than 25% plus an
+// absolute floor; a zero on either side means "not recorded" (plain-test
+// gates and pre-field artifacts) and skips the check. A baseline
 // benchmark absent from the fresh set, a metric key that appears or
 // disappears, and any changed value all count as drift; fresh benchmarks
 // not in the baseline are ignored (they join it when it is regenerated).
@@ -149,6 +178,12 @@ func Diff(baseline, fresh []Result) []string {
 		if !ok {
 			drift = append(drift, fmt.Sprintf("%s: missing from fresh run", b.Name))
 			continue
+		}
+		if d := allocRegression(b.Name, "allocs_per_op", b.AllocsPerOp, f.AllocsPerOp, allocSlackFloor); d != "" {
+			drift = append(drift, d)
+		}
+		if d := allocRegression(b.Name, "bytes_per_op", b.BytesPerOp, f.BytesPerOp, bytesSlackFloor); d != "" {
+			drift = append(drift, d)
 		}
 		keys := map[string]bool{}
 		for k := range b.Metrics {
@@ -177,4 +212,22 @@ func Diff(baseline, fresh []Result) []string {
 		}
 	}
 	return drift
+}
+
+// allocRegression returns a drift line when fresh exceeds the slack band
+// over baseline, or "" when it is within the band or either side is
+// unrecorded (zero).
+func allocRegression(name, field string, baseline, fresh, floor float64) string {
+	if baseline == 0 || fresh == 0 {
+		return ""
+	}
+	limit := baseline * allocSlackRatio
+	if withFloor := baseline + floor; withFloor > limit {
+		limit = withFloor
+	}
+	if fresh <= limit {
+		return ""
+	}
+	return fmt.Sprintf("%s: %s regressed: baseline %s, fresh %s (limit %s)",
+		name, field, formatFloat(baseline), formatFloat(fresh), formatFloat(limit))
 }

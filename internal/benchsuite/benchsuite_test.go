@@ -10,7 +10,8 @@ import (
 
 func TestWriteJSONStableAndSorted(t *testing.T) {
 	rs := []Result{
-		{Name: "B", Iterations: 2, NsPerOp: 1.5, Metrics: map[string]float64{"z": 3, "a": 740129}},
+		{Name: "B", Iterations: 2, NsPerOp: 1.5, AllocsPerOp: 12, BytesPerOp: 4096,
+			Metrics: map[string]float64{"z": 3, "a": 740129}},
 		{Name: "A", Iterations: 1, NsPerOp: 100, Metrics: nil},
 	}
 	var buf bytes.Buffer
@@ -19,8 +20,8 @@ func TestWriteJSONStableAndSorted(t *testing.T) {
 	}
 	want := `{
 "benchmarks": [
-{"name": "A", "iterations": 1, "ns_per_op": 100, "metrics": {}},
-{"name": "B", "iterations": 2, "ns_per_op": 1.5, "metrics": {"a": 740129, "z": 3}}
+{"name": "A", "iterations": 1, "ns_per_op": 100, "allocs_per_op": 0, "bytes_per_op": 0, "metrics": {}},
+{"name": "B", "iterations": 2, "ns_per_op": 1.5, "allocs_per_op": 12, "bytes_per_op": 4096, "metrics": {"a": 740129, "z": 3}}
 ]
 }
 `
@@ -35,7 +36,7 @@ func TestWriteJSONStableAndSorted(t *testing.T) {
 func TestReadFileRoundTrips(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	r := NewRecorder(path)
-	want := Result{Name: "X", Iterations: 3, NsPerOp: 1.5,
+	want := Result{Name: "X", Iterations: 3, NsPerOp: 1.5, AllocsPerOp: 7, BytesPerOp: 512,
 		Metrics: map[string]float64{"cycles": 684750}}
 	if err := r.Record(want); err != nil {
 		t.Fatal(err)
@@ -45,7 +46,8 @@ func TestReadFileRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].Name != "X" || got[0].Iterations != 3 ||
-		got[0].NsPerOp != 1.5 || got[0].Metrics["cycles"] != 684750 {
+		got[0].NsPerOp != 1.5 || got[0].AllocsPerOp != 7 || got[0].BytesPerOp != 512 ||
+		got[0].Metrics["cycles"] != 684750 {
 		t.Errorf("ReadFile = %+v, want [%+v]", got, want)
 	}
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); !os.IsNotExist(err) {
@@ -85,6 +87,42 @@ func TestDiffIgnoresTimingAndCatchesDrift(t *testing.T) {
 	if d := Diff(baseline[:1], []Result{{Name: "Sim", NsPerOp: 1,
 		Metrics: map[string]float64{"cycles": 1000, "instrs": 50}}}); len(d) != 0 {
 		t.Errorf("timing-only change reported as drift: %q", d)
+	}
+}
+
+// TestDiffFlagsAllocationRegressions pins the allocation gate: growth past
+// 25% plus the absolute floor is a regression; growth within the band,
+// improvements, and unrecorded (zero) counters are not.
+func TestDiffFlagsAllocationRegressions(t *testing.T) {
+	base := func(allocs, bytes float64) []Result {
+		return []Result{{Name: "B", AllocsPerOp: allocs, BytesPerOp: bytes,
+			Metrics: map[string]float64{"cycles": 1}}}
+	}
+	fresh := func(allocs, bytes float64) []Result {
+		return []Result{{Name: "B", AllocsPerOp: allocs, BytesPerOp: bytes,
+			Metrics: map[string]float64{"cycles": 1}}}
+	}
+	cases := []struct {
+		name            string
+		bAllocs, bBytes float64
+		fAllocs, fBytes float64
+		wantDrift       int
+	}{
+		{"within band", 100, 10000, 110, 11000, 0},
+		{"improvement", 100, 10000, 10, 1000, 0},
+		{"alloc regression", 100, 10000, 200, 10000, 1},
+		{"bytes regression", 100, 10000, 100, 20000, 1},
+		{"both regress", 100, 10000, 200, 20000, 2},
+		{"tiny baseline inside floor", 2, 100, 9, 1100, 0},
+		{"tiny baseline past floor", 2, 100, 11, 2000, 2},
+		{"baseline unrecorded", 0, 0, 500, 500000, 0},
+		{"fresh unrecorded", 100, 10000, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		d := Diff(base(tc.bAllocs, tc.bBytes), fresh(tc.fAllocs, tc.fBytes))
+		if len(d) != tc.wantDrift {
+			t.Errorf("%s: Diff = %q, want %d drift line(s)", tc.name, d, tc.wantDrift)
+		}
 	}
 }
 

@@ -13,9 +13,58 @@ import (
 	"repro/internal/testprog"
 )
 
-// TestDinicMatchesEdmondsKarp checks that the two max-flow engines produce
-// identical communication placements on every fixture.
-func TestDinicMatchesEdmondsKarp(t *testing.T) {
+// engineOpts returns every max-flow engine selection: Edmonds–Karp (the
+// reference), Dinic, push-relabel, and the default size-based selector.
+func engineOpts() []struct {
+	name string
+	opts coco.Options
+} {
+	ek := coco.DefaultOptions()
+	ek.EdmondsKarp = true
+	dn := coco.DefaultOptions()
+	dn.Dinic = true
+	pr := coco.DefaultOptions()
+	pr.PushRelabel = true
+	return []struct {
+		name string
+		opts coco.Options
+	}{
+		{"edmonds-karp", ek},
+		{"dinic", dn},
+		{"push-relabel", pr},
+		{"auto", coco.DefaultOptions()},
+	}
+}
+
+// comparePlans fails the test when two plans place communication
+// differently.
+func comparePlans(t *testing.T, label string, ek, other *mtcg.Plan) {
+	t.Helper()
+	if len(ek.Comms) != len(other.Comms) {
+		t.Fatalf("%s: comm count: EK %d vs %d", label, len(ek.Comms), len(other.Comms))
+	}
+	for i := range ek.Comms {
+		a, b := ek.Comms[i], other.Comms[i]
+		if a.Kind != b.Kind || a.Reg != b.Reg || a.Src != b.Src || a.Dst != b.Dst {
+			t.Errorf("%s: comm %d differs: %v vs %v", label, i, a, b)
+			continue
+		}
+		if len(a.Points) != len(b.Points) {
+			t.Errorf("%s: comm %d points: EK %v vs %v", label, i, a.Points, b.Points)
+			continue
+		}
+		for j := range a.Points {
+			if a.Points[j] != b.Points[j] {
+				t.Errorf("%s: comm %d point %d: EK %v vs %v", label, i, j, a.Points[j], b.Points[j])
+			}
+		}
+	}
+}
+
+// TestEnginesMatchOnFixtures checks that every max-flow engine — and the
+// size-based auto selector — produces identical communication placements
+// on every fixture.
+func TestEnginesMatchOnFixtures(t *testing.T) {
 	for _, fx := range []struct {
 		name string
 		p    *testprog.Prog
@@ -25,41 +74,22 @@ func TestDinicMatchesEdmondsKarp(t *testing.T) {
 		{"fig5", testprog.Fig5()},
 	} {
 		t.Run(fx.name, func(t *testing.T) {
-			ekOpts := coco.DefaultOptions()
-			ekOpts.EdmondsKarp = true
-			ek := plan(t, fx.p, ekOpts)
-			dOpts := coco.DefaultOptions()
-			dOpts.Dinic = true
-			dn := plan(t, fx.p, dOpts)
-			if len(ek.Comms) != len(dn.Comms) {
-				t.Fatalf("comm count: EK %d, Dinic %d", len(ek.Comms), len(dn.Comms))
-			}
-			for i := range ek.Comms {
-				a, b := ek.Comms[i], dn.Comms[i]
-				if a.Kind != b.Kind || a.Reg != b.Reg || a.Src != b.Src || a.Dst != b.Dst {
-					t.Errorf("comm %d differs: %v vs %v", i, a, b)
-					continue
-				}
-				if len(a.Points) != len(b.Points) {
-					t.Errorf("comm %d points: EK %v, Dinic %v", i, a.Points, b.Points)
-					continue
-				}
-				for j := range a.Points {
-					if a.Points[j] != b.Points[j] {
-						t.Errorf("comm %d point %d: EK %v, Dinic %v", i, j, a.Points[j], b.Points[j])
-					}
-				}
+			variants := engineOpts()
+			ek := plan(t, fx.p, variants[0].opts)
+			for _, v := range variants[1:] {
+				comparePlans(t, v.name, ek, plan(t, fx.p, v.opts))
 			}
 		})
 	}
 }
 
-// TestDinicMatchesEdmondsKarpRandom extends the fixture check to random
+// TestEnginesMatchOnRandomPrograms extends the fixture check to random
 // programs and random partitions: for every generated (program, partition)
-// pair the two max-flow engines must choose the same communication
-// placements, because each min-cut flow network has a unique source-side
-// and sink-side minimum cut regardless of the maximum flow found.
-func TestDinicMatchesEdmondsKarpRandom(t *testing.T) {
+// pair all max-flow engines and the auto selector must choose the same
+// communication placements, because each min-cut flow network has a
+// unique source-side and sink-side minimum cut regardless of the maximum
+// flow found.
+func TestEnginesMatchOnRandomPrograms(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	trials := 40
 	if testing.Short() {
@@ -79,34 +109,17 @@ func TestDinicMatchesEdmondsKarpRandom(t *testing.T) {
 			}
 		})
 
-		ekOpts := coco.DefaultOptions()
-		ekOpts.EdmondsKarp = true
-		ek, errEK := coco.Plan(p.F, g, assign, 2, st.Profile, ekOpts)
-		dnOpts := coco.DefaultOptions()
-		dnOpts.Dinic = true
-		dn, errDN := coco.Plan(p.F, g, assign, 2, st.Profile, dnOpts)
-		if (errEK == nil) != (errDN == nil) {
-			t.Fatalf("trial %d: EK err %v, Dinic err %v", trial, errEK, errDN)
-		}
-		if errEK != nil {
-			continue // both rejected the partition identically
-		}
-		if len(ek.Comms) != len(dn.Comms) {
-			t.Fatalf("trial %d: comm count EK %d, Dinic %d", trial, len(ek.Comms), len(dn.Comms))
-		}
-		for i := range ek.Comms {
-			a, b := ek.Comms[i], dn.Comms[i]
-			if a.Kind != b.Kind || a.Reg != b.Reg || a.Src != b.Src || a.Dst != b.Dst {
-				t.Fatalf("trial %d: comm %d differs: %v vs %v", trial, i, a, b)
+		variants := engineOpts()
+		ek, errEK := coco.Plan(p.F, g, assign, 2, st.Profile, variants[0].opts)
+		for _, v := range variants[1:] {
+			pl, err := coco.Plan(p.F, g, assign, 2, st.Profile, v.opts)
+			if (errEK == nil) != (err == nil) {
+				t.Fatalf("trial %d: EK err %v, %s err %v", trial, errEK, v.name, err)
 			}
-			if len(a.Points) != len(b.Points) {
-				t.Fatalf("trial %d: comm %d points: EK %v, Dinic %v", trial, i, a.Points, b.Points)
+			if errEK != nil {
+				continue // all engines must reject the partition identically
 			}
-			for j := range a.Points {
-				if a.Points[j] != b.Points[j] {
-					t.Fatalf("trial %d: comm %d point %d: EK %v, Dinic %v", trial, i, j, a.Points[j], b.Points[j])
-				}
-			}
+			comparePlans(t, v.name, ek, pl)
 		}
 	}
 }

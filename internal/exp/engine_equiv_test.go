@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/coco"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestMaxFlowEnginesAgreeOnWorkloadMatrix runs the full workload matrix
+// through the pipeline once per max-flow engine selection (Edmonds–Karp,
+// Dinic, push-relabel, and the default size-based auto selector) and
+// demands identical end-to-end cycle counts. Placement differences — the
+// only way an engine could alter anything downstream — would surface as a
+// cycle divergence here; the per-placement equivalence is pinned directly
+// in internal/coco and internal/mincut.
+func TestMaxFlowEnginesAgreeOnWorkloadMatrix(t *testing.T) {
+	ek := coco.DefaultOptions()
+	ek.EdmondsKarp = true
+	dn := coco.DefaultOptions()
+	dn.Dinic = true
+	pr := coco.DefaultOptions()
+	pr.PushRelabel = true
+	variants := []struct {
+		name string
+		opts coco.Options
+	}{
+		{"edmonds-karp", ek},
+		{"dinic", dn},
+		{"push-relabel", pr},
+		{"auto", coco.DefaultOptions()},
+	}
+
+	cfg := sim.DefaultConfig()
+	for _, w := range workloads.All() {
+		var ref int64
+		for i, v := range variants {
+			p, err := Build(w, partition.GREMIO{}, v.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", w.Name, v.name, err)
+			}
+			cycles, err := p.MeasureCycles(p.Machine(cfg), p.Coco)
+			if err != nil {
+				t.Fatalf("%s/%s: measure: %v", w.Name, v.name, err)
+			}
+			if i == 0 {
+				ref = cycles
+			} else if cycles != ref {
+				t.Errorf("%s: engine %s measured %d cycles, edmonds-karp %d",
+					w.Name, v.name, cycles, ref)
+			}
+		}
+	}
+}

@@ -160,37 +160,39 @@ func TestEngineBudgetEnforced(t *testing.T) {
 	}
 }
 
-// TestDinicDefaultEquivalentOnWorkloads asserts the promoted default: on
-// the full workload suite under both partitioners, Dinic and Edmonds–Karp
-// max-flow produce identical communication placements (identical generated
-// threads) and therefore identical cut values and dynamic statistics.
-func TestDinicDefaultEquivalentOnWorkloads(t *testing.T) {
+// TestAutoDefaultEquivalentOnWorkloads asserts the promoted default: the
+// size-based engine selector (no engine flag set) must produce, on the
+// full workload suite under both partitioners, exactly the communication
+// placements (identical generated threads) the Edmonds–Karp reference
+// produces — and therefore identical cut values and dynamic statistics.
+func TestAutoDefaultEquivalentOnWorkloads(t *testing.T) {
 	ws := workloads.All()
 	if testing.Short() {
 		ws = subset(t, "ks", "177.mesa", "181.mcf")
 	}
-	if !coco.DefaultOptions().Dinic {
-		t.Fatal("DefaultOptions no longer selects Dinic")
+	def := coco.DefaultOptions()
+	if def.Dinic || def.EdmondsKarp || def.PushRelabel {
+		t.Fatal("DefaultOptions no longer selects the auto engine")
 	}
 	ekOpts := coco.DefaultOptions()
 	ekOpts.EdmondsKarp = true
 	for _, w := range ws {
 		for _, part := range Partitioners() {
-			dn, err := Build(w, part, coco.DefaultOptions())
+			auto, err := Build(w, part, coco.DefaultOptions())
 			if err != nil {
-				t.Fatalf("%s/%s Dinic: %v", w.Name, part.Name(), err)
+				t.Fatalf("%s/%s auto: %v", w.Name, part.Name(), err)
 			}
 			ek, err := Build(w, part, ekOpts)
 			if err != nil {
 				t.Fatalf("%s/%s EK: %v", w.Name, part.Name(), err)
 			}
-			if dn.Coco.NumQueues != ek.Coco.NumQueues {
-				t.Errorf("%s/%s: queues Dinic %d, EK %d", w.Name, part.Name(),
-					dn.Coco.NumQueues, ek.Coco.NumQueues)
+			if auto.Coco.NumQueues != ek.Coco.NumQueues {
+				t.Errorf("%s/%s: queues auto %d, EK %d", w.Name, part.Name(),
+					auto.Coco.NumQueues, ek.Coco.NumQueues)
 			}
-			for i := range dn.Coco.Threads {
-				if got, want := dn.Coco.Threads[i].String(), ek.Coco.Threads[i].String(); got != want {
-					t.Errorf("%s/%s: thread %d differs between Dinic and EK:\n--- Dinic ---\n%s\n--- EK ---\n%s",
+			for i := range auto.Coco.Threads {
+				if got, want := auto.Coco.Threads[i].String(), ek.Coco.Threads[i].String(); got != want {
+					t.Errorf("%s/%s: thread %d differs between auto and EK:\n--- auto ---\n%s\n--- EK ---\n%s",
 						w.Name, part.Name(), i, got, want)
 				}
 			}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/ring"
 )
 
 // ErrDeadlock is returned when every unfinished thread is blocked on a
@@ -241,14 +243,45 @@ func (o *runObs) queueDepth(q int, step int64, depth int) {
 	}
 }
 
-// threadState is one thread's execution context.
+// threadState is one thread's execution context. Register files of all
+// threads share one contiguous backing allocation (regs is a window into
+// it), and dup caches the replicated-branch classification per static
+// instruction ID so the hot loop never consults the Assign map.
 type threadState struct {
 	fn   *ir.Function
-	regs []int64
+	regs []int64 // window into the run's shared register backing
+	dup  []bool  // instr ID -> branch replicated into a non-owning thread
 	blk  *ir.Block
 	idx  int
 	done bool
 	outs []int64 // live-outs captured at this thread's Ret
+}
+
+// mtScratch is the reusable hot-loop state of one RunMT call. Runs acquire
+// a scratch from mtPool and return it on exit, so steady-state execution
+// allocates only the MTResult the caller keeps: thread states, register
+// backing, queue rings, and scheduler bookkeeping all settle at their
+// high-water capacity. Nothing in a scratch escapes into the MTResult.
+type mtScratch struct {
+	threads  []threadState
+	regsBack []int64
+	dupBack  []bool
+	queues   []ring.Buf[int64]
+	blocked  []bool
+	lastRan  []int64
+	active   []int
+	runnable []int
+}
+
+var mtPool = sync.Pool{New: func() any { return new(mtScratch) }}
+
+// sized returns s resliced to length n, growing the backing array if
+// needed. Contents are unspecified; callers reinitialize.
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // RunMT executes a multi-threaded program over blocking synchronization-
@@ -269,33 +302,66 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 	if sched == nil {
 		sched = RoundRobin()
 	}
-	queues := make([][]int64, cfg.NumQueues)
-	threads := make([]*threadState, len(cfg.Threads))
+	sc := mtPool.Get().(*mtScratch)
+	defer mtPool.Put(sc)
+
+	nThreads := len(cfg.Threads)
+	sc.queues = sized(sc.queues, cfg.NumQueues)
+	queues := sc.queues
+	for i := range queues {
+		queues[i].Init(cfg.QueueCap)
+	}
+	// Size the shared register and dup-branch backings, then carve one
+	// window per thread.
+	regsNeed, dupNeed := 0, 0
+	for _, fn := range cfg.Threads {
+		regsNeed += int(fn.MaxReg()) + 1
+		dupNeed += fn.NumInstrIDs()
+	}
+	sc.regsBack = sized(sc.regsBack, regsNeed)
+	sc.dupBack = sized(sc.dupBack, dupNeed)
+	clear(sc.regsBack)
+	clear(sc.dupBack)
+	sc.threads = sized(sc.threads, nThreads)
+	threads := sc.threads
+	regsOff, dupOff := 0, 0
 	for i, fn := range cfg.Threads {
 		if len(cfg.Args) != len(fn.Params) {
 			return nil, fmt.Errorf("interp: thread %s takes %d params, got %d",
 				fn.Name, len(fn.Params), len(cfg.Args))
 		}
+		nRegs, nIDs := int(fn.MaxReg())+1, fn.NumInstrIDs()
+		ts := &threads[i]
+		*ts = threadState{
+			fn:   fn,
+			regs: sc.regsBack[regsOff : regsOff+nRegs],
+			dup:  sc.dupBack[dupOff : dupOff+nIDs],
+			blk:  fn.Entry(),
+		}
+		regsOff += nRegs
+		dupOff += nIDs
 		var badQ error
+		ti := i
 		fn.Instrs(func(in *ir.Instr) {
 			if badQ == nil && in.Op.IsComm() && (in.Queue < 0 || in.Queue >= cfg.NumQueues) {
 				badQ = fmt.Errorf("%w: thread %s: %v references queue %d of %d",
 					ErrBadProgram, fn.Name, in, in.Queue, cfg.NumQueues)
 			}
+			if in.Op == ir.Br && in.Orig != nil && cfg.Assign[in.Orig] != ti {
+				ts.dup[in.ID] = true
+			}
 		})
 		if badQ != nil {
 			return nil, badQ
 		}
-		ts := &threadState{fn: fn, regs: make([]int64, int(fn.MaxReg())+1), blk: fn.Entry()}
 		for j, p := range fn.Params {
 			ts.regs[p] = cfg.Args[j]
 		}
-		threads[i] = ts
 	}
 
 	res := &MTResult{
 		Mem:       cfg.Mem,
-		PerThread: make([]CommStats, len(threads)),
+		PerThread: make([]CommStats, nThreads),
 		PerQueue:  make([]QueueStats, cfg.NumQueues),
 		QueueHWM:  make([]int64, cfg.NumQueues),
 		Sched:     SchedStats{Policy: sched.Name()},
@@ -309,38 +375,75 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		}
 		arun = attr.NewRun("picks", ids, cfg.NumQueues)
 		res.Attr = arun
-		res.ThreadPicks = make([]int64, len(threads))
+		res.ThreadPicks = make([]int64, nThreads)
 	}
+	x := &mtExec{
+		queues: queues,
+		qcap:   cfg.QueueCap,
+		nq:     cfg.NumQueues,
+		inj:    cfg.Inject,
+		mem:    cfg.Mem,
+		res:    res,
+		ro:     ro,
+	}
+
 	// blocked[t] is set when t failed to step and cleared whenever any
 	// thread issues an instruction (which is the only event that can
-	// unblock a queue operation).
-	blocked := make([]bool, len(threads))
-	lastRan := make([]int64, len(threads))
+	// unblock a queue operation). active lists unfinished threads in
+	// ascending order; blockedCount tracks how many of them are blocked,
+	// so the common case (nothing blocked) hands active to the scheduler
+	// without rebuilding a runnable list every pick.
+	sc.blocked = sized(sc.blocked, nThreads)
+	blocked := sc.blocked
+	clear(blocked)
+	blockedCount := 0
+	sc.lastRan = sized(sc.lastRan, nThreads)
+	lastRan := sc.lastRan
 	for i := range lastRan {
 		lastRan[i] = -1
 	}
-	runnable := make([]int, 0, len(threads))
+	sc.active = sized(sc.active, nThreads)
+	active := sc.active[:0]
+	for i := 0; i < nThreads; i++ {
+		active = append(active, i)
+	}
+	sc.runnable = sized(sc.runnable, nThreads)
+
 	var steps int64
-	for {
-		runnable = runnable[:0]
-		alldone := true
-		for ti, ts := range threads {
-			if ts.done {
-				continue
-			}
-			alldone = false
-			if !blocked[ti] {
-				runnable = append(runnable, ti)
-			}
+	if cfg.Sched == nil && x.inj == nil && ro == nil && arun == nil {
+		// Default configuration: round-robin policy, nothing observing.
+		// The specialized loop below issues the same interleaving without
+		// the per-pick interface dispatch and instrumentation checks;
+		// TestRunMTFastPathEquivalence pins it against the general loop.
+		n, err := runMTFast(&cfg, x, threads, active, blocked, res)
+		if err != nil {
+			return nil, err
 		}
-		if alldone {
-			break
+		steps = n
+		res.Steps = steps
+		for ti := range threads {
+			if threads[ti].outs != nil {
+				res.LiveOuts = threads[ti].outs
+			}
+			res.Stats.Add(res.PerThread[ti])
 		}
-		if len(runnable) == 0 {
-			return nil, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, queues, cfg.QueueCap))
+		return res, nil
+	}
+	for len(active) > 0 {
+		runnable := active
+		if blockedCount > 0 {
+			if blockedCount == len(active) {
+				return nil, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, queues, cfg.QueueCap))
+			}
+			runnable = sc.runnable[:0]
+			for _, ti := range active {
+				if !blocked[ti] {
+					runnable = append(runnable, ti)
+				}
+			}
 		}
 		ti := sched.Pick(runnable, lastRan, steps)
-		if ti < 0 || ti >= len(threads) || threads[ti].done || blocked[ti] {
+		if ti < 0 || ti >= nThreads || threads[ti].done || blocked[ti] {
 			return nil, fmt.Errorf("%w: %s picked thread %d (runnable %v)",
 				ErrBadSchedule, sched.Name(), ti, runnable)
 		}
@@ -357,7 +460,7 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		if arun != nil {
 			curIn = threads[ti].blk.Instrs[threads[ti].idx]
 		}
-		if cfg.Inject.Stall(ti, len(threads)) {
+		if x.inj != nil && x.inj.Stall(ti, nThreads) {
 			// A frozen thread wastes its turn without issuing. It is NOT
 			// marked blocked: blocked[] feeds the deadlock detector, and a
 			// stall window always expires, so it must never look like a
@@ -372,12 +475,13 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 			}
 			continue
 		}
-		stepped, err := stepThread(threads[ti], ti, queues, cfg, &res.PerThread[ti], res, ro, steps)
+		stepped, err := x.stepThread(&threads[ti], ti, &res.PerThread[ti], steps)
 		if err != nil {
 			return nil, err
 		}
 		if !stepped {
 			blocked[ti] = true
+			blockedCount++
 			res.Sched.BlockedTurns++
 			if arun != nil {
 				// A step only blocks on a queue operation: full for the
@@ -399,11 +503,20 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 		if ro != nil && ro.m != nil {
 			ro.m.steps.Inc()
 		}
-		for i := range blocked {
-			blocked[i] = false
+		if blockedCount > 0 {
+			clear(blocked)
+			blockedCount = 0
 		}
 		lastRan[ti] = steps
 		steps++
+		if threads[ti].done {
+			for i, a := range active {
+				if a == ti {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+		}
 		if steps > cfg.MaxSteps {
 			return nil, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
 		}
@@ -415,27 +528,108 @@ func RunMT(cfg MTConfig) (*MTResult, error) {
 	}
 
 	res.Steps = steps
-	for ti, ts := range threads {
-		if ts.outs != nil {
-			res.LiveOuts = ts.outs
+	for ti := range threads {
+		if threads[ti].outs != nil {
+			res.LiveOuts = threads[ti].outs
 		}
 		res.Stats.Add(res.PerThread[ti])
 	}
 	return res, nil
 }
 
+// runMTFast is the scheduler loop specialized for RunMT's default
+// configuration — round-robin policy, no fault injector, no metrics or
+// trace sinks, no attribution. It issues the exact interleaving of the
+// general loop (the inlined pick mirrors roundRobin.Pick: first unblocked
+// thread at or after the cursor, wrapping to the first unblocked) while
+// skipping the per-pick interface dispatch, scheduler validation, lastRan
+// bookkeeping, and instrumentation nil-checks. Every counter the general
+// loop maintains (Picks, BlockedTurns, per-queue traffic, HWM) is
+// maintained identically; TestRunMTFastPathEquivalence asserts the two
+// loops produce deep-equal MTResults on a program matrix.
+func runMTFast(cfg *MTConfig, x *mtExec, threads []threadState, active []int, blocked []bool, res *MTResult) (int64, error) {
+	var steps int64
+	blockedCount := 0
+	cursor := 0
+	maxSteps := cfg.MaxSteps
+	ctx := cfg.Ctx
+	for len(active) > 0 {
+		if blockedCount == len(active) {
+			return 0, fmt.Errorf("%w\n%s", ErrDeadlock, describeBlocked(threads, x.queues, x.qcap))
+		}
+		ti := -1
+		for _, a := range active {
+			if !blocked[a] {
+				if a >= cursor {
+					ti = a
+					break
+				}
+				if ti < 0 {
+					ti = a
+				}
+			}
+		}
+		cursor = ti + 1
+		res.Sched.Picks++
+		stepped, err := x.stepThread(&threads[ti], ti, &res.PerThread[ti], steps)
+		if err != nil {
+			return 0, err
+		}
+		if !stepped {
+			blocked[ti] = true
+			blockedCount++
+			res.Sched.BlockedTurns++
+			continue
+		}
+		if blockedCount > 0 {
+			clear(blocked)
+			blockedCount = 0
+		}
+		steps++
+		if threads[ti].done {
+			for i, a := range active {
+				if a == ti {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+		}
+		if steps > maxSteps {
+			return 0, fmt.Errorf("%w (multi-threaded, %d steps)", ErrStepLimit, steps)
+		}
+		if steps&(checkEvery-1) == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("interp: multi-threaded run after %d steps: %w", steps, err)
+			}
+		}
+	}
+	return steps, nil
+}
+
+// mtExec bundles the state stepThread touches every issued instruction.
+// Passing one pointer (instead of an MTConfig value, which the compiler
+// copied on every call) keeps the per-step overhead at a register's worth.
+type mtExec struct {
+	queues []ring.Buf[int64]
+	qcap   int
+	nq     int
+	inj    *fault.Injector
+	mem    Memory
+	res    *MTResult
+	ro     *runObs
+}
+
 // stepThread executes at most one instruction of ts, returning whether it
-// made progress (false when blocked on a queue). res receives per-queue
-// traffic and depth high-water bookkeeping; ro (optional) is the obs
+// made progress (false when blocked on a queue). x.res receives per-queue
+// traffic and depth high-water bookkeeping; x.ro (optional) is the obs
 // accounting path, and step is the issued-step timestamp for its queue
 // occupancy timeline.
-func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
-	stats *CommStats, res *MTResult, ro *runObs, step int64) (bool, error) {
-	perQueue := res.PerQueue
+func (x *mtExec) stepThread(ts *threadState, ti int, stats *CommStats, step int64) (bool, error) {
+	ro := x.ro
 	in := ts.blk.Instrs[ts.idx]
 	switch in.Op {
 	case ir.Produce, ir.ProduceSync:
-		if len(queues[in.Queue]) >= cfg.QueueCap {
+		if x.queues[in.Queue].Len() >= x.qcap {
 			return false, nil // queue full
 		}
 		v := int64(0)
@@ -449,12 +643,16 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		// below counts what actually lands in the array. Under injection
 		// the two may diverge (drop, dup, swap) — that divergence is
 		// exactly what the oracle's balance/ownership checks detect.
-		q, val, times := cfg.Inject.Produce(ti, in.Queue, v, cfg.NumQueues, in.Op == ir.Produce)
+		q, val, times := in.Queue, v, 1
+		if x.inj != nil {
+			q, val, times = x.inj.Produce(ti, in.Queue, v, x.nq, in.Op == ir.Produce)
+		}
 		for k := 0; k < times; k++ {
-			queues[q] = append(queues[q], val)
-			perQueue[q].Produced++
-			if d := int64(len(queues[q])); d > res.QueueHWM[q] {
-				res.QueueHWM[q] = d
+			qb := &x.queues[q]
+			qb.Push(val)
+			x.res.PerQueue[q].Produced++
+			if d := int64(qb.Len()); d > x.res.QueueHWM[q] {
+				x.res.QueueHWM[q] = d
 			}
 			if ro != nil && ro.m != nil {
 				ro.m.queueProduced[q].Inc()
@@ -469,17 +667,17 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 				}
 			}
 			if times > 0 {
-				ro.queueDepth(q, step, len(queues[q]))
+				ro.queueDepth(q, step, x.queues[q].Len())
 			}
 		}
 		ts.idx++
 	case ir.Consume, ir.ConsumeSync:
-		if len(queues[in.Queue]) == 0 {
+		qb := &x.queues[in.Queue]
+		if qb.Len() == 0 {
 			return false, nil // queue empty
 		}
-		v := queues[in.Queue][0]
-		queues[in.Queue] = queues[in.Queue][1:]
-		perQueue[in.Queue].Consumed++
+		v := qb.Pop()
+		x.res.PerQueue[in.Queue].Consumed++
 		if in.Op == ir.Consume {
 			ts.regs[in.Dst] = v
 			stats.Consume++
@@ -495,11 +693,11 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 				}
 				ro.m.queueConsumed[in.Queue].Inc()
 			}
-			ro.queueDepth(in.Queue, step, len(queues[in.Queue]))
+			ro.queueDepth(in.Queue, step, qb.Len())
 		}
 		ts.idx++
 	case ir.Br:
-		if in.Orig != nil && cfg.Assign[in.Orig] != ti {
+		if ts.dup[in.ID] {
 			stats.DupBranch++
 			if ro != nil && ro.m != nil {
 				ro.m.dupBranch.Inc()
@@ -538,7 +736,7 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 		if ro != nil && ro.m != nil {
 			ro.m.compute.Inc()
 		}
-		if err := exec(in, ts.regs, cfg.Mem); err != nil {
+		if err := exec(in, ts.regs, x.mem); err != nil {
 			return false, fmt.Errorf("interp: thread %d: %v: %w", ti, in, err)
 		}
 		ts.idx++
@@ -551,9 +749,10 @@ func stepThread(ts *threadState, ti int, queues [][]int64, cfg MTConfig,
 // instruction, and the occupancy of the queue it is blocked on — so a
 // deadlock report can be pasted into a regression test or bug report
 // verbatim.
-func describeBlocked(threads []*threadState, queues [][]int64, qcap int) string {
+func describeBlocked(threads []threadState, queues []ring.Buf[int64], qcap int) string {
 	s := ""
-	for ti, ts := range threads {
+	for ti := range threads {
+		ts := &threads[ti]
 		if ts.done {
 			s += fmt.Sprintf("thread %d: done\n", ti)
 			continue
@@ -564,13 +763,13 @@ func describeBlocked(threads []*threadState, queues [][]int64, qcap int) string 
 			continue
 		}
 		state := "empty"
-		if qlen := len(queues[in.Queue]); qlen >= qcap {
+		if qlen := queues[in.Queue].Len(); qlen >= qcap {
 			state = "full"
 		} else if qlen > 0 {
 			state = fmt.Sprintf("%d buffered", qlen)
 		}
 		s += fmt.Sprintf("thread %d: blocked at %s[%d]: %v (queue %d: %d/%d, %s)\n",
-			ti, ts.blk.Name, ts.idx, in, in.Queue, len(queues[in.Queue]), qcap, state)
+			ti, ts.blk.Name, ts.idx, in, in.Queue, queues[in.Queue].Len(), qcap, state)
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package mincut_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -45,43 +46,133 @@ func randomNetwork(seed int64) (g *mincut.Graph, s, t int) {
 	return g, s, t
 }
 
-// TestDinicEquivalentToEdmondsKarp checks, over many random networks, that
-// the two max-flow engines agree on the flow value and on both canonical
-// minimum cuts. The source-side (sink-side) cut is the unique minimal
-// (maximal) minimum cut, determined by the network alone and not by which
-// maximum flow the algorithm found — the property that lets Dinic replace
-// Edmonds–Karp as the default without changing any COCO placement.
-func TestDinicEquivalentToEdmondsKarp(t *testing.T) {
+// engines lists every max-flow implementation plus the size-based
+// selector. Edmonds–Karp is the reference the others are pinned against.
+var engines = []struct {
+	name string
+	run  func(g *mincut.Graph, s, t int) int64
+}{
+	{"edmonds-karp", func(g *mincut.Graph, s, t int) int64 { return g.MaxFlow(s, t) }},
+	{"dinic", func(g *mincut.Graph, s, t int) int64 { return g.MaxFlowDinic(s, t) }},
+	{"push-relabel", func(g *mincut.Graph, s, t int) int64 { return g.MaxFlowPushRelabel(s, t) }},
+	{"auto", func(g *mincut.Graph, s, t int) int64 { return g.MaxFlowAuto(s, t) }},
+}
+
+// checkEnginesAgree max-flows independent copies of the same network with
+// every engine and demands identical flow values and identical canonical
+// cuts. The source-side (sink-side) cut is the unique minimal (maximal)
+// minimum cut, determined by the network alone and not by which maximum
+// flow the algorithm found — the property that lets any engine replace
+// Edmonds–Karp without changing a COCO placement.
+func checkEnginesAgree(t *testing.T, label string, build func() (*mincut.Graph, int, int)) {
+	t.Helper()
+	ref, s, tt := build()
+	fRef := ref.MaxFlow(s, tt)
+	srcRef, snkRef := ref.MinCutSourceSide(s), ref.MinCutSinkSide(tt)
+	if c := ref.CutCost(srcRef); c != fRef {
+		t.Fatalf("%s: source cut cost %d != flow %d", label, c, fRef)
+	}
+	if c := ref.CutCost(snkRef); c != fRef {
+		t.Fatalf("%s: sink cut cost %d != flow %d", label, c, fRef)
+	}
+	for _, eng := range engines[1:] {
+		g, _, _ := build()
+		if f := eng.run(g, s, tt); f != fRef {
+			t.Fatalf("%s: flow %s %d, edmonds-karp %d", label, eng.name, f, fRef)
+		}
+		if src := g.MinCutSourceSide(s); !sameArcs(src, srcRef) {
+			t.Fatalf("%s: source-side cut differs: %s %v, edmonds-karp %v", label, eng.name, src, srcRef)
+		}
+		if snk := g.MinCutSinkSide(tt); !sameArcs(snk, snkRef) {
+			t.Fatalf("%s: sink-side cut differs: %s %v, edmonds-karp %v", label, eng.name, snk, snkRef)
+		}
+	}
+}
+
+// TestEnginesEquivalentOnRandomNetworks pins Dinic, push-relabel, and the
+// auto selector against Edmonds–Karp over many random CFG-shaped
+// networks.
+func TestEnginesEquivalentOnRandomNetworks(t *testing.T) {
 	trials := 300
 	if testing.Short() {
 		trials = 60
 	}
 	for seed := int64(0); seed < int64(trials); seed++ {
-		ek, s, tt := randomNetwork(seed)
-		dn, _, _ := randomNetwork(seed)
+		seed := seed
+		checkEnginesAgree(t, fmt.Sprintf("seed %d", seed), func() (*mincut.Graph, int, int) {
+			return randomNetwork(seed)
+		})
+	}
+}
 
-		fEK := ek.MaxFlow(s, tt)
-		fDN := dn.MaxFlowDinic(s, tt)
-		if fEK != fDN {
-			t.Fatalf("seed %d: flow EK %d, Dinic %d", seed, fEK, fDN)
-		}
+// TestEnginesEquivalentWithInfArcs covers the anchored networks COCO
+// builds: infinite-capacity arcs pin nodes to the source or sink side and
+// must never appear in a cut.
+func TestEnginesEquivalentWithInfArcs(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		checkEnginesAgree(t, fmt.Sprintf("inf seed %d", seed), func() (*mincut.Graph, int, int) {
+			rng := rand.New(rand.NewSource(^seed))
+			g, s, tt := randomNetwork(seed)
+			n := g.NumNodes()
+			// Anchor a few nodes to each side with Inf arcs, as COCO's
+			// flow graphs do for instructions fixed in a thread.
+			for i := 0; i < 3; i++ {
+				g.AddArc(s, rng.Intn(n-2), mincut.Inf)
+				g.AddArc(rng.Intn(n-2), tt, mincut.Inf)
+			}
+			return g, s, tt
+		})
+	}
+}
 
-		srcEK, srcDN := ek.MinCutSourceSide(s), dn.MinCutSourceSide(s)
-		if !sameArcs(srcEK, srcDN) {
-			t.Fatalf("seed %d: source-side cut differs: EK %v, Dinic %v", seed, srcEK, srcDN)
-		}
-		snkEK, snkDN := ek.MinCutSinkSide(tt), dn.MinCutSinkSide(tt)
-		if !sameArcs(snkEK, snkDN) {
-			t.Fatalf("seed %d: sink-side cut differs: EK %v, Dinic %v", seed, snkEK, snkDN)
-		}
+// TestEnginesEquivalentOnLargeNetworks crosses the auto-selection
+// thresholds so the selector's Dinic and push-relabel regimes are both
+// exercised end to end.
+func TestEnginesEquivalentOnLargeNetworks(t *testing.T) {
+	sizes := []struct {
+		layers, width int
+	}{
+		{24, 16}, // ~6k arcs: auto picks Dinic
+		{40, 24}, // ~23k arcs: auto picks push-relabel
+	}
+	for _, sz := range sizes {
+		sz := sz
+		checkEnginesAgree(t, fmt.Sprintf("%dx%d", sz.layers, sz.width), func() (*mincut.Graph, int, int) {
+			return layeredNetwork(11, sz.layers, sz.width)
+		})
+	}
+}
 
-		if c := ek.CutCost(srcEK); c != fEK {
-			t.Fatalf("seed %d: source cut cost %d != flow %d", seed, c, fEK)
-		}
-		if c := dn.CutCost(snkDN); c != fDN {
-			t.Fatalf("seed %d: sink cut cost %d != flow %d", seed, c, fDN)
+// layeredNetwork is randomNetwork with explicit dimensions, for building
+// graphs large enough to cross the auto-selection thresholds.
+func layeredNetwork(seed int64, layers, width int) (g *mincut.Graph, s, t int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := layers*width + 2
+	g = mincut.New(n)
+	s, t = n-2, n-1
+	node := func(l, i int) int { return l*width + i }
+	for i := 0; i < width; i++ {
+		g.AddArc(s, node(0, i), int64(1+rng.Intn(50)))
+		g.AddArc(node(layers-1, i), t, int64(1+rng.Intn(50)))
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				g.AddArc(node(l, i), node(l+1, j), int64(1+rng.Intn(50)))
+			}
+			if l+2 < layers && rng.Intn(4) == 0 {
+				g.AddArc(node(l, i), node(l+2, rng.Intn(width)), int64(1+rng.Intn(50)))
+			}
+			if l > 0 && rng.Intn(6) == 0 {
+				g.AddArc(node(l, i), node(l-1, rng.Intn(width)), int64(1+rng.Intn(50)))
+			}
 		}
 	}
+	return g, s, t
 }
 
 func sameArcs(a, b []mincut.ArcID) bool {

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -280,5 +281,39 @@ func TestCorpusRegressions(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestCheckDeterministicRepeat pins corpus-level determinism end to end:
+// the optimized interpreter and simulator hot paths (ring queues, fast
+// scheduler loop, memoized stall cycles) must not introduce any run-order
+// or timing dependence, so two full oracle passes over the same corpus
+// under the same seed render byte-identical reports.
+func TestCheckDeterministicRepeat(t *testing.T) {
+	cases, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		var b strings.Builder
+		for _, c := range cases {
+			rep, err := Check(c, Options{Seed: c.Seed})
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			fmt.Fprintf(&b, "%s: programs=%d runs=%d injected=%d sched=%q\n",
+				c.Name, rep.Programs, rep.Runs, rep.Injected, rep.FaultSchedule)
+			for _, f := range rep.Failures {
+				fmt.Fprintf(&b, "  %s\n", f)
+			}
+		}
+		return b.String()
+	}
+	first := render()
+	for trial := 1; trial < 3; trial++ {
+		if got := render(); got != first {
+			t.Fatalf("oracle corpus report differs on repeat %d:\n--- first ---\n%s--- repeat ---\n%s",
+				trial, first, got)
+		}
 	}
 }

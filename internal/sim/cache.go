@@ -1,26 +1,25 @@
 package sim
 
 // cache is one set-associative, LRU cache level tracking only line
-// presence (timing model; data values live in the functional state).
+// presence (timing model; data values live in the functional state). Tags
+// and stamps are flat arrays indexed set*ways+way: the per-set slice
+// representation cost two allocations per set — thousands per simulation
+// run for the L3 — and scattered each set's ways across the heap.
 type cache struct {
 	sets  int
 	ways  int
-	line  int       // words per line
-	tags  [][]int64 // tags[set][way]; -1 empty
-	lru   [][]int64 // last-touch stamps
+	line  int     // words per line
+	tags  []int64 // tags[set*ways+way]; -1 empty
+	lru   []int64 // last-touch stamps
 	stamp int64
 }
 
 func newCache(sets, ways, line int) *cache {
 	c := &cache{sets: sets, ways: ways, line: line}
-	c.tags = make([][]int64, sets)
-	c.lru = make([][]int64, sets)
+	c.tags = make([]int64, sets*ways)
+	c.lru = make([]int64, sets*ways)
 	for i := range c.tags {
-		c.tags[i] = make([]int64, ways)
-		c.lru[i] = make([]int64, ways)
-		for w := range c.tags[i] {
-			c.tags[i][w] = -1
-		}
+		c.tags[i] = -1
 	}
 	return c
 }
@@ -32,11 +31,11 @@ func (c *cache) lineOf(addr int64) int64 { return addr / int64(c.line) }
 // on hit.
 func (c *cache) lookup(addr int64) bool {
 	ln := c.lineOf(addr)
-	set := int(ln % int64(c.sets))
-	for w, tag := range c.tags[set] {
+	base := int(ln%int64(c.sets)) * c.ways
+	for w, tag := range c.tags[base : base+c.ways] {
 		if tag == ln {
 			c.stamp++
-			c.lru[set][w] = c.stamp
+			c.lru[base+w] = c.stamp
 			return true
 		}
 	}
@@ -46,30 +45,30 @@ func (c *cache) lookup(addr int64) bool {
 // fill inserts the line holding addr, evicting the LRU way.
 func (c *cache) fill(addr int64) {
 	ln := c.lineOf(addr)
-	set := int(ln % int64(c.sets))
+	base := int(ln%int64(c.sets)) * c.ways
 	victim, oldest := 0, int64(1<<62)
-	for w, tag := range c.tags[set] {
+	for w, tag := range c.tags[base : base+c.ways] {
 		if tag == -1 {
 			victim = w
 			break
 		}
-		if c.lru[set][w] < oldest {
-			victim, oldest = w, c.lru[set][w]
+		if c.lru[base+w] < oldest {
+			victim, oldest = w, c.lru[base+w]
 		}
 	}
 	c.stamp++
-	c.tags[set][victim] = ln
-	c.lru[set][victim] = c.stamp
+	c.tags[base+victim] = ln
+	c.lru[base+victim] = c.stamp
 }
 
 // invalidate drops the line holding addr if present (snoop-based
 // write-invalidate coherence).
 func (c *cache) invalidate(addr int64) {
 	ln := c.lineOf(addr)
-	set := int(ln % int64(c.sets))
-	for w, tag := range c.tags[set] {
+	base := int(ln%int64(c.sets)) * c.ways
+	for w, tag := range c.tags[base : base+c.ways] {
 		if tag == ln {
-			c.tags[set][w] = -1
+			c.tags[base+w] = -1
 		}
 	}
 }

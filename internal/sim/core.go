@@ -32,6 +32,17 @@ func classify(op ir.Op) portClass {
 	return portALU
 }
 
+// portTab is classify precomputed over the whole opcode space, so the
+// issue loop buckets each instruction with one array load instead of a
+// chain of predicate calls per issued instruction.
+var portTab [256]portClass
+
+func init() {
+	for i := range portTab {
+		portTab[i] = classify(ir.Op(i))
+	}
+}
+
 // latencyOf returns the result latency of non-memory, non-communication
 // instructions.
 func (s *system) latencyOf(op ir.Op) int64 {
@@ -76,18 +87,20 @@ func blockTag(issued, firstID int, b attr.Bucket, instr, queue int) cycleTag {
 func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag) {
 	if cycle < c.fetchReady {
 		// Front-end bubble after a mispredict: blame the instruction whose
-		// fetch is delayed.
+		// fetch is delayed. The bubble's end is known exactly.
+		c.wake = c.fetchReady
 		return 0, cycleTag{bucket: attr.Branch, instr: c.blk.Instrs[c.idx].ID, queue: -1}
 	}
 	cfg := &s.cfg
+	issueWidth := cfg.IssueWidth
+	limits := s.limits
 	issued := 0
 	firstID := -1
 	ports := [4]int{}
-	limits := [4]int{cfg.ALUPorts, cfg.MemPorts, cfg.FPPorts, cfg.BranchPorts}
 
-	for issued < cfg.IssueWidth && !c.done {
+	for issued < issueWidth && !c.done {
 		in := c.blk.Instrs[c.idx]
-		cls := classify(in.Op)
+		cls := portTab[in.Op]
 		if ports[cls] >= limits[cls] {
 			// Structural hazard; in-order issue stops. At issued == 0 this
 			// is only reachable with a zero-port config.
@@ -95,25 +108,27 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 		}
 		// Operand readiness (stall-on-use: the stall happens here, at
 		// the first instruction that needs a late value). The stall is
-		// blamed on the cause of the latest-arriving unready operand.
-		opsReady := true
+		// blamed on the cause of the latest-arriving unready operand, and
+		// its clearing time — the latest ready time, which only this
+		// core's own issues could ever move — is memoized as the wake.
+		var lateT int64 = -1
 		for _, r := range in.Srcs {
-			if c.ready[r] > cycle {
-				opsReady = false
-				break
+			if t := c.ready[r]; t > cycle && t > lateT {
+				lateT = t
 			}
 		}
-		if !opsReady {
+		if lateT >= 0 {
 			b, bq := attr.DepStall, -1
 			if c.readyCause != nil {
-				var bestT int64 = -1
 				for _, r := range in.Srcs {
-					if c.ready[r] > cycle && c.ready[r] > bestT {
-						bestT = c.ready[r]
+					if c.ready[r] == lateT {
 						b = attr.Bucket(c.readyCause[r])
 						bq = int(c.readyQueue[r])
+						break
 					}
 				}
+			} else if issued == 0 {
+				c.wake = lateT
 			}
 			return issued, blockTag(issued, firstID, b, in.ID, bq)
 		}
@@ -127,8 +142,11 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 
 		switch in.Op {
 		case ir.Produce, ir.ProduceSync:
-			if s.queues[in.Queue].inFlight() >= s.qcap {
+			if s.queues[in.Queue].Len() >= s.qcap {
 				// Queue full: blocked until the consumer frees a slot.
+				if issued == 0 {
+					c.blockedFullQ = int32(in.Queue)
+				}
 				return issued, blockTag(issued, firstID, attr.QueueFull, in.ID, in.Queue)
 			}
 			if *saPortsUsed >= cfg.SAPorts {
@@ -143,24 +161,29 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 			// Core stats count the issued instruction; queue stats count
 			// what actually lands in the array — under injection (drop,
 			// dup, swap) the two diverge, which is the detection signal.
-			tq, val, times := s.inj.Produce(c.id, in.Queue, v, len(s.queues), in.Op == ir.Produce)
+			tq, val, times := in.Queue, v, 1
+			if s.inj != nil {
+				tq, val, times = s.inj.Produce(c.id, in.Queue, v, len(s.queues), in.Op == ir.Produce)
+			}
 			c.stats.Produces++
 			for k := 0; k < times; k++ {
 				q := s.queues[tq]
-				q.vals = append(q.vals, val)
-				q.arrival = append(q.arrival, cycle+int64(cfg.SALatency))
+				e := saEntry{val: val, arrival: cycle + int64(cfg.SALatency)}
+				if s.flows {
+					s.flowSeq++
+					e.flow = s.flowSeq
+				}
+				q.Push(e)
 				qs := &s.qstats[tq]
 				qs.Produced++
-				if d := int64(q.inFlight()); d > qs.HighWater {
+				if d := int64(q.Len()); d > qs.HighWater {
 					qs.HighWater = d
 				}
 				if s.saLane != nil {
-					s.saLane.Counter(s.qnames[tq], cycle, "depth", int64(q.inFlight()))
+					s.saLane.Counter(s.qnames[tq], cycle, "depth", int64(q.Len()))
 				}
 				if s.flows {
-					s.flowSeq++
-					q.flowID = append(q.flowID, s.flowSeq)
-					s.coreLanes[c.id].FlowStart(s.qnames[tq], "sa", s.flowSeq, cycle)
+					s.coreLanes[c.id].FlowStart(s.qnames[tq], "sa", e.flow, cycle)
 				}
 			}
 			if s.flows {
@@ -170,25 +193,28 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 			evQueue, evTimes = tq, times
 		case ir.Consume, ir.ConsumeSync:
 			q := s.queues[in.Queue]
-			if q.nextPop >= len(q.vals) {
+			if q.Len() == 0 {
 				// Nothing produced yet: the producing thread is behind.
+				if issued == 0 {
+					c.blockedEmptyQ = int32(in.Queue)
+				}
 				return issued, blockTag(issued, firstID, attr.QueueEmpty, in.ID, in.Queue)
 			}
 			if *saPortsUsed >= cfg.SAPorts {
 				return issued, blockTag(issued, firstID, attr.CommLatency, in.ID, in.Queue)
 			}
 			*saPortsUsed++
-			v := q.vals[q.nextPop]
-			arr := q.arrival[q.nextPop]
+			e := q.Pop()
+			v := e.val
+			arr := e.arrival
 			if s.flows {
 				s.coreLanes[c.id].SpanAt("consume", "sa", cycle, 1, obs.A("q", int64(in.Queue)))
-				s.coreLanes[c.id].FlowEnd(s.qnames[in.Queue], "sa", q.flowID[q.nextPop], cycle)
+				s.coreLanes[c.id].FlowEnd(s.qnames[in.Queue], "sa", e.flow, cycle)
 			}
-			q.nextPop++
 			c.stats.Consumes++
 			s.qstats[in.Queue].Consumed++
 			if s.saLane != nil {
-				s.saLane.Counter(s.qnames[in.Queue], cycle, "depth", int64(q.inFlight()))
+				s.saLane.Counter(s.qnames[in.Queue], cycle, "depth", int64(q.Len()))
 			}
 			if in.Op == ir.Consume {
 				c.regs[in.Dst] = v
@@ -225,13 +251,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 				s.fault(c, in, addr)
 				return issued, blockTag(issued, firstID, attr.Memory, in.ID, -1)
 			}
-			var others []*hierarchy
-			for _, o := range s.cores {
-				if o != c {
-					others = append(others, o.caches)
-				}
-			}
-			c.caches.store(addr, others, &c.stats.Mem)
+			c.caches.store(addr, c.inval, &c.stats.Mem)
 			s.mem[addr] = c.regs[in.Srcs[0]]
 		case ir.Br:
 			taken := c.regs[in.Srcs[0]] != 0
@@ -258,6 +278,7 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 			stop = true
 		case ir.Ret:
 			c.done = true
+			s.doneCores++
 			if len(in.Srcs) > 0 {
 				c.outs = []int64{}
 				for _, r := range in.Srcs {
@@ -267,12 +288,12 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 			stop = true
 		default:
 			execALU(in, c.regs)
-			c.ready[in.Dst] = cycle + s.latencyOf(in.Op)
+			done = cycle + s.lat[in.Op]
+			c.ready[in.Dst] = done
 			if c.readyCause != nil {
 				c.readyCause[in.Dst] = uint8(attr.DepStall)
 				c.readyQueue[in.Dst] = -1
 			}
-			done = cycle + s.latencyOf(in.Op)
 		}
 
 		ports[cls]++
@@ -292,9 +313,228 @@ func (s *system) stepCore(c *core, cycle int64, saPortsUsed *int) (int, cycleTag
 	return issued, blockTag(issued, firstID, attr.DepStall, -1, -1)
 }
 
+// stepCoreFast is stepCore for runs with no observability sinks attached
+// (no attribution, no event stream, no trace lanes, no flow arrows): the
+// cycle's attribution tag is never read on that path, so the tag and
+// first-issued-instruction bookkeeping, the per-instruction sink checks,
+// and the readyCause plumbing all drop out of the issue loop, which runs
+// over the decoded (flat, pointer-free) instruction stream instead of the
+// IR. Timing, statistics, fault injection, and block memos are
+// bit-identical to stepCore — TestStepCoreFastEquivalence pins the two
+// against each other.
+func (s *system) stepCoreFast(c *core, cycle int64, saPortsUsed *int) int {
+	if cycle < c.fetchReady {
+		c.wake = c.fetchReady
+		return 0
+	}
+	cfg := &s.cfg
+	issueWidth := cfg.IssueWidth
+	saPorts := cfg.SAPorts
+	regs := c.regs
+	ready := c.ready
+	issued := 0
+	// avail counts remaining port slots per class; the &3 masks keep the
+	// class in the compiler-provable [0,4) range so the array indexing is
+	// bounds-check free. idx shadows c.idx in a register for the duration
+	// of the call (written back at the single exit below).
+	avail := s.limits
+	ins := c.dblk.ins // stable within the call: taken branches break out
+	idx := c.idx
+
+loop:
+	for issued < issueWidth && !c.done {
+		di := &ins[idx]
+		cls := di.cls & 3
+		if avail[cls] == 0 {
+			break loop
+		}
+		var lateT int64 = -1
+		if di.nsrc > 0 {
+			if t := ready[di.s0]; t > cycle {
+				lateT = t
+			}
+			if di.nsrc > 1 {
+				if t := ready[di.s1]; t > cycle && t > lateT {
+					lateT = t
+				}
+				if di.nsrc > 2 {
+					for _, r := range c.dblk.irs[idx].Srcs[2:] {
+						if t := ready[r]; t > cycle && t > lateT {
+							lateT = t
+						}
+					}
+				}
+			}
+		}
+		if lateT >= 0 {
+			if issued == 0 {
+				c.wake = lateT
+			}
+			break loop
+		}
+
+		stop := false
+
+		switch di.op {
+		case ir.Add:
+			regs[di.dst] = regs[di.s0] + regs[di.s1]
+			ready[di.dst] = cycle + 1
+		case ir.Const:
+			regs[di.dst] = di.imm
+			ready[di.dst] = cycle + 1
+		case ir.Mov:
+			regs[di.dst] = regs[di.s0]
+			ready[di.dst] = cycle + 1
+		case ir.Sub:
+			regs[di.dst] = regs[di.s0] - regs[di.s1]
+			ready[di.dst] = cycle + 1
+		case ir.CmpLT:
+			if regs[di.s0] < regs[di.s1] {
+				regs[di.dst] = 1
+			} else {
+				regs[di.dst] = 0
+			}
+			ready[di.dst] = cycle + 1
+		case ir.CmpGT:
+			if regs[di.s0] > regs[di.s1] {
+				regs[di.dst] = 1
+			} else {
+				regs[di.dst] = 0
+			}
+			ready[di.dst] = cycle + 1
+		case ir.Shl:
+			regs[di.dst] = regs[di.s0] << (uint64(regs[di.s1]) & 63)
+			ready[di.dst] = cycle + 1
+		case ir.Shr:
+			regs[di.dst] = regs[di.s0] >> (uint64(regs[di.s1]) & 63)
+			ready[di.dst] = cycle + 1
+		case ir.And:
+			regs[di.dst] = regs[di.s0] & regs[di.s1]
+			ready[di.dst] = cycle + 1
+		case ir.Xor:
+			regs[di.dst] = regs[di.s0] ^ regs[di.s1]
+			ready[di.dst] = cycle + 1
+		case ir.Produce, ir.ProduceSync:
+			if s.queues[di.queue].Len() >= s.qcap {
+				if issued == 0 {
+					c.blockedFullQ = di.queue
+				}
+				break loop
+			}
+			if *saPortsUsed >= saPorts {
+				break loop
+			}
+			*saPortsUsed++
+			v := int64(0)
+			if di.op == ir.Produce {
+				v = regs[di.s0]
+			}
+			tq, val, times := int(di.queue), v, 1
+			if s.inj != nil {
+				tq, val, times = s.inj.Produce(c.id, int(di.queue), v, len(s.queues), di.op == ir.Produce)
+			}
+			c.stats.Produces++
+			for k := 0; k < times; k++ {
+				q := s.queues[tq]
+				q.Push(saEntry{val: val, arrival: cycle + int64(cfg.SALatency)})
+				qs := &s.qstats[tq]
+				qs.Produced++
+				if d := int64(q.Len()); d > qs.HighWater {
+					qs.HighWater = d
+				}
+			}
+		case ir.Consume, ir.ConsumeSync:
+			q := s.queues[di.queue]
+			if q.Len() == 0 {
+				if issued == 0 {
+					c.blockedEmptyQ = di.queue
+				}
+				break loop
+			}
+			if *saPortsUsed >= saPorts {
+				break loop
+			}
+			*saPortsUsed++
+			e := q.Pop()
+			c.stats.Consumes++
+			s.qstats[di.queue].Consumed++
+			if di.op == ir.Consume {
+				regs[di.dst] = e.val
+				arr := e.arrival
+				if arr < cycle+1 {
+					arr = cycle + 1
+				}
+				ready[di.dst] = arr
+			}
+		case ir.Load:
+			addr := regs[di.s0] + di.imm
+			if addr < 0 || addr >= int64(len(s.mem)) {
+				s.fault(c, c.dblk.irs[idx], addr)
+				break loop
+			}
+			lat := c.caches.load(addr, &c.stats.Mem)
+			regs[di.dst] = s.mem[addr]
+			ready[di.dst] = cycle + int64(lat)
+		case ir.Store:
+			addr := regs[di.s1] + di.imm
+			if addr < 0 || addr >= int64(len(s.mem)) {
+				s.fault(c, c.dblk.irs[idx], addr)
+				break loop
+			}
+			c.caches.store(addr, c.inval, &c.stats.Mem)
+			s.mem[addr] = regs[di.s0]
+		case ir.Br:
+			taken := regs[di.s0] != 0
+			predTaken := c.pred[di.id] >= 2
+			if taken != predTaken {
+				c.stats.Mispreds++
+				c.fetchReady = cycle + 1 + int64(cfg.MispredictPenalty)
+			}
+			if taken && c.pred[di.id] < 3 {
+				c.pred[di.id]++
+			} else if !taken && c.pred[di.id] > 0 {
+				c.pred[di.id]--
+			}
+			next := c.dblk.succs[1]
+			if taken {
+				next = c.dblk.succs[0]
+			}
+			c.dblk, idx = next, 0
+			stop = true
+		case ir.Jump:
+			c.dblk, idx = c.dblk.succs[0], 0
+			stop = true
+		case ir.Ret:
+			c.done = true
+			s.doneCores++
+			if di.nsrc > 0 {
+				c.outs = []int64{}
+				for _, r := range c.dblk.irs[idx].Srcs {
+					c.outs = append(c.outs, regs[r])
+				}
+			}
+			stop = true
+		default:
+			execALU(c.dblk.irs[idx], regs)
+			ready[di.dst] = cycle + s.lat[di.op]
+		}
+
+		avail[cls]--
+		c.stats.Instrs++
+		issued++
+		if stop {
+			break loop
+		}
+		idx++
+	}
+	c.idx = idx
+	return issued
+}
+
 // fault records an out-of-range memory access and halts the core.
 func (s *system) fault(c *core, in *ir.Instr, addr int64) {
 	c.done = true
+	s.doneCores++
 	if s.err == nil {
 		s.err = &MemFaultError{Core: c.id, Instr: in, Addr: addr, Size: int64(len(s.mem))}
 	}

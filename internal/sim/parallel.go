@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/ir"
+	"repro/internal/par"
+)
+
+// parallelGroups decides whether this run can be split into core groups
+// simulated concurrently with bit-identical results, and returns the
+// groups (core indices, each group and the group list in ascending order)
+// or nil when the run must stay serial.
+//
+// Two cores belong to the same group when their threads share a
+// synchronization-array queue; groups are the connected components of
+// that relation. A split is exact — not merely approximate — only when
+// no cross-group coupling channel exists:
+//
+//   - No observer and no fault injector: observability sinks and the
+//     injector's issue-slot schedule are ordered across all cores, so any
+//     observed or injected run stays serial.
+//   - At most one group touches memory (Load/Store): shared memory, the
+//     shared L3, and write-invalidate coherence all couple through memory
+//     accesses. Stores do invalidate other groups' private caches, but a
+//     group without memory instructions never fills its caches, so those
+//     invalidations find nothing and record nothing.
+//   - The synchronization array's request ports can never saturate: a
+//     core issues at most min(IssueWidth, MemPorts) SA operations per
+//     cycle, so when SAPorts covers that worst case summed over all
+//     cores, the global per-cycle port counter can never block anyone
+//     and dropping it (per-group counters) is exact.
+//
+// Error paths may differ from the serial schedule in message detail (each
+// group runs its own no-progress watchdog and cycle budget), but whether
+// a run errors, and the fault it reports, are unchanged.
+func (s *system) parallelGroups(ob *Observer) [][]int {
+	if ob != nil || s.inj != nil || len(s.cores) < 2 {
+		return nil
+	}
+	perCore := s.cfg.IssueWidth
+	if s.cfg.MemPorts < perCore {
+		perCore = s.cfg.MemPorts
+	}
+	if s.cfg.SAPorts < len(s.cores)*perCore {
+		return nil
+	}
+
+	// Union-find over cores, rooted at the smallest member.
+	parent := make([]int, len(s.cores))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+
+	qOwner := make([]int, len(s.queues))
+	for i := range qOwner {
+		qOwner[i] = -1
+	}
+	mems := make([]bool, len(s.cores))
+	for ci, c := range s.cores {
+		ci := ci
+		c.fn.Instrs(func(in *ir.Instr) {
+			if in.Op.IsComm() {
+				if qOwner[in.Queue] < 0 {
+					qOwner[in.Queue] = ci
+				} else {
+					union(qOwner[in.Queue], ci)
+				}
+			}
+			if in.Op.IsMemAccess() {
+				mems[ci] = true
+			}
+		})
+	}
+
+	groupOf := map[int]int{}
+	var groups [][]int
+	memGroups := 0
+	for ci := range s.cores {
+		r := find(ci)
+		gi, ok := groupOf[r]
+		if !ok {
+			gi = len(groups)
+			groupOf[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], ci)
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	for _, g := range groups {
+		for _, ci := range g {
+			if mems[ci] {
+				memGroups++
+				break
+			}
+		}
+	}
+	if memGroups > 1 {
+		return nil
+	}
+	return groups
+}
+
+// runParallel simulates each core group in its own child system via the
+// shared worker pool and merges deterministically: Cycles is the maximum
+// over groups, per-core and per-queue statistics land in the same shared
+// structures the serial path uses (groups touch disjoint cores and
+// queues), and on failure the error of the lowest-indexed failing group
+// is returned regardless of wall-clock finish order.
+func (s *system) runParallel(groups [][]int, maxCycles int64) (int64, error) {
+	cycles := make([]int64, len(groups))
+	errs := make([]error, len(groups))
+	par.Run(context.Background(), len(groups), len(groups), func(gi int) error {
+		child := &system{
+			cfg:    s.cfg,
+			qcap:   s.qcap,
+			queues: s.queues,
+			qstats: s.qstats,
+			mem:    s.mem,
+			limits: s.limits,
+			lat:    s.lat,
+		}
+		for _, ci := range groups[gi] {
+			child.cores = append(child.cores, s.cores[ci])
+		}
+		// Every group runs to completion even if another fails, so the
+		// merged result never depends on scheduling order.
+		cycles[gi], errs[gi] = child.run(maxCycles)
+		return nil
+	})
+	var max int64
+	for gi := range groups {
+		if errs[gi] != nil {
+			return 0, errs[gi]
+		}
+		if cycles[gi] > max {
+			max = cycles[gi]
+		}
+	}
+	return max, nil
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/ring"
 )
 
 // ErrNoProgress is returned when no core issues an instruction for an
@@ -76,18 +77,26 @@ func (r *Result) IPC() float64 {
 	return float64(n) / float64(r.Cycles)
 }
 
-// saQueue is one synchronization-array queue's timing+value state.
-type saQueue struct {
-	vals    []int64
-	arrival []int64 // cycle each value becomes visible to the consumer
-	nextPop int     // index of next value to consume
-	// flowID (flow-tracing runs only) carries the trace flow-event binding
-	// id each value was produced under, so the matching consume can close
-	// the produce→consume arrow.
-	flowID []int64
+// saEntry is one value in flight through a synchronization-array queue:
+// the value, the cycle it becomes visible to the consumer, and (flow-
+// tracing runs only) the trace flow-event binding id it was produced
+// under, so the matching consume can close the produce→consume arrow.
+type saEntry struct {
+	val     int64
+	arrival int64
+	flow    int64
 }
 
-func (q *saQueue) inFlight() int { return len(q.vals) - q.nextPop }
+// saQueue is one synchronization-array queue's timing+value state: a ring
+// sized by the architectural queue capacity, so occupancy-bounded traffic
+// never reallocates (the previous slice representation retained every
+// value ever produced — O(traffic) memory on a queue that is
+// architecturally qcap deep).
+type saQueue struct {
+	ring.Buf[saEntry]
+}
+
+func (q *saQueue) inFlight() int { return q.Len() }
 
 // core is one in-order processor.
 type core struct {
@@ -96,14 +105,36 @@ type core struct {
 	regs  []int64
 	ready []int64 // reg -> cycle the value is available
 	blk   *ir.Block
-	idx   int
-	done  bool
+	// dblk is the decoded view of the current block, advanced by
+	// stepCoreFast. A run drives either blk (stepCore, observed runs) or
+	// dblk (stepCoreFast) exclusively — the sink set is fixed for the
+	// whole run — so the two cursors never need reconciling.
+	dblk *decBlock
+	idx  int
+	done bool
 	// fetchReady is the first cycle issue may resume after a mispredict.
 	fetchReady int64
 	caches     *hierarchy
-	pred       []uint8 // 2-bit predictor state per instruction ID
-	outs       []int64
-	stats      CoreStats
+	// inval is the precomputed list of other cores' private caches this
+	// core's stores must invalidate (write-invalidate coherence). Computed
+	// once at setup so the Store hot path never allocates.
+	inval []*hierarchy
+	pred  []uint8 // 2-bit predictor state per instruction ID
+	outs  []int64
+	stats CoreStats
+
+	// Block memos (non-attribution runs): when issue blocks with nothing
+	// issued, stepCore records the one condition that must change before
+	// the core can issue again, and the cycle loop requalifies it with a
+	// single compare instead of a full stepCore call. wake is the first
+	// cycle an operand/front-end stall can clear (register ready times are
+	// only ever written by the core itself, so the bound is exact);
+	// blockedEmptyQ/blockedFullQ name the queue whose occupancy must
+	// change (-1 when not queue-blocked). Attribution runs bypass the
+	// memos — they need stepCore's per-cycle cause tag.
+	wake          int64
+	blockedEmptyQ int32
+	blockedFullQ  int32
 
 	// readyCause/readyQueue (attribution runs only) remember why each
 	// register's value is late: the attr.Bucket of the producing
@@ -124,6 +155,16 @@ type system struct {
 	qstats []QueueStats
 	mem    []int64
 	err    error // first memory fault
+
+	// Hot-path tables, derived from cfg once at setup so the issue loop
+	// performs no per-instruction switch dispatch or per-call array
+	// construction. limits is the port budget per class; lat maps every
+	// opcode to its result latency.
+	limits [4]int
+	lat    [256]int64
+	// doneCores counts finished cores so the cycle loop terminates on a
+	// counter compare instead of scanning every core every cycle.
+	doneCores int
 
 	// Observability sinks (all optional). saLane carries queue-occupancy
 	// counter tracks; coreLanes carry per-core coalesced stall spans.
@@ -251,12 +292,15 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 			return nil, fmt.Errorf("sim: thread %s takes %d params, got %d", f.Name, len(f.Params), len(args))
 		}
 		c := &core{
-			id:    i,
-			fn:    f,
-			regs:  make([]int64, int(f.MaxReg())+1),
-			ready: make([]int64, int(f.MaxReg())+1),
-			blk:   f.Entry(),
-			pred:  make([]uint8, f.NumInstrIDs()),
+			id:            i,
+			fn:            f,
+			regs:          make([]int64, int(f.MaxReg())+1),
+			ready:         make([]int64, int(f.MaxReg())+1),
+			blk:           f.Entry(),
+			dblk:          decodeFunction(f),
+			pred:          make([]uint8, f.NumInstrIDs()),
+			blockedEmptyQ: -1,
+			blockedFullQ:  -1,
 			caches: &hierarchy{
 				l1:  newCache(cfg.L1Sets, cfg.L1Ways, cfg.L1Line),
 				l2:  newCache(cfg.L2Sets, cfg.L2Ways, cfg.L2Line),
@@ -269,9 +313,21 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		}
 		sys.cores = append(sys.cores, c)
 	}
+	for _, c := range sys.cores {
+		for _, o := range sys.cores {
+			if o != c {
+				c.inval = append(c.inval, o.caches)
+			}
+		}
+	}
+	sys.limits = [4]int{cfg.ALUPorts, cfg.MemPorts, cfg.FPPorts, cfg.BranchPorts}
+	for i := range sys.lat {
+		sys.lat[i] = sys.latencyOf(ir.Op(i))
+	}
 	sys.queues = make([]*saQueue, numQueues)
 	for i := range sys.queues {
 		sys.queues[i] = &saQueue{}
+		sys.queues[i].Init(sys.qcap)
 	}
 	sys.qstats = make([]QueueStats, numQueues)
 	if ob != nil && ob.Trace != nil {
@@ -306,88 +362,15 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		}
 	}
 
-	// stallStart[i] is the cycle core i's current issue-stall episode
-	// began, or -1 when issuing; consecutive stall cycles coalesce into
-	// one trace span per episode.
-	stallStart := make([]int64, len(sys.cores))
-	for i := range stallStart {
-		stallStart[i] = -1
+	var cycle int64
+	var err error
+	if groups := sys.parallelGroups(ob); groups != nil {
+		cycle, err = sys.runParallel(groups, maxCycles)
+	} else {
+		cycle, err = sys.run(maxCycles)
 	}
-
-	stallLimit := cfg.StallLimit
-	if stallLimit <= 0 {
-		stallLimit = 2_000_000
-	}
-
-	var cycle, lastProgress int64
-	for {
-		// Termination is checked before the cycle is simulated so that
-		// attribution sees exactly Result.Cycles iterations: every core
-		// gets exactly one bucket note per counted cycle.
-		allDone := true
-		for _, c := range sys.cores {
-			if !c.done {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
-		saPortsUsed := 0
-		anyIssued := false
-		for ci, c := range sys.cores {
-			if c.done {
-				sys.attr.Note(ci, attr.Idle, -1, -1)
-				continue
-			}
-			if sys.inj.Stall(ci, len(sys.cores)) {
-				// Frozen core: issues nothing this cycle. The freeze window
-				// always expires (far below the no-progress watchdog), so a
-				// stall can delay but never deadlock the simulation.
-				c.stats.IssueStallCycles++
-				sys.attr.Note(ci, attr.Fault, c.blk.Instrs[c.idx].ID, -1)
-				if sys.coreLanes != nil && stallStart[ci] < 0 {
-					stallStart[ci] = cycle
-				}
-				continue
-			}
-			issued, tag := sys.stepCore(c, cycle, &saPortsUsed)
-			sys.attr.Note(ci, tag.bucket, tag.instr, tag.queue)
-			if issued > 0 {
-				anyIssued = true
-				if stallStart[ci] >= 0 {
-					sys.coreLanes[ci].SpanAt("stall", "sim", stallStart[ci], cycle-stallStart[ci])
-					stallStart[ci] = -1
-				}
-			} else {
-				c.stats.IssueStallCycles++
-				if sys.coreLanes != nil && stallStart[ci] < 0 {
-					stallStart[ci] = cycle
-				}
-			}
-		}
-		if sys.err != nil {
-			return nil, sys.err
-		}
-		if anyIssued {
-			lastProgress = cycle
-		}
-		if cycle-lastProgress > stallLimit {
-			return nil, fmt.Errorf("%w for %d cycles at cycle %d", ErrNoProgress, cycle-lastProgress, cycle)
-		}
-		cycle++
-		if cycle > maxCycles {
-			return nil, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
-		}
-	}
-
-	// Close any stall episode still open at termination (defensive: a
-	// core only finishes by issuing Ret, which closes its episode above).
-	for i, st := range stallStart {
-		if st >= 0 {
-			sys.coreLanes[i].SpanAt("stall", "sim", st, cycle-st)
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{Cycles: cycle, PerQueue: sys.qstats, Mem: mem, Attr: sys.attr}
@@ -416,6 +399,243 @@ func RunInjected(cfg Config, threads []*ir.Function, args []int64, mem []int64, 
 		}
 	}
 	return res, nil
+}
+
+// run executes the cycle loop to completion over this system's cores and
+// returns the cycle count. Observability hooks (attr, trace lanes, fault
+// injector) are guarded behind nil checks so an unobserved run pays no
+// per-cycle callback or allocation cost.
+func (s *system) run(maxCycles int64) (int64, error) {
+	// stallStart[i] is the cycle core i's current issue-stall episode
+	// began, or -1 when issuing; consecutive stall cycles coalesce into
+	// one trace span per episode.
+	stallStart := make([]int64, len(s.cores))
+	for i := range stallStart {
+		stallStart[i] = -1
+	}
+
+	stallLimit := s.cfg.StallLimit
+	if stallLimit <= 0 {
+		stallLimit = 2_000_000
+	}
+
+	// Block memos are exact but skip stepCore's per-cycle cause analysis,
+	// so attribution runs take the full call every cycle. With no sinks at
+	// all the per-core step drops to the trimmed stepCoreFast.
+	memo := s.attr == nil
+	fast := memo && s.events == nil && s.saLane == nil && s.coreLanes == nil && !s.flows
+	if fast && s.inj == nil {
+		// No sinks and no injector: the whole cycle loop reduces to memo
+		// requalification plus stepCoreFast, so run it without the
+		// per-cycle injector/lane/attribution branches.
+		return s.runFast(maxCycles, stallLimit)
+	}
+
+	var cycle, lastProgress int64
+	for {
+		// Termination is checked before the cycle is simulated so that
+		// attribution sees exactly Result.Cycles iterations: every core
+		// gets exactly one bucket note per counted cycle.
+		if s.doneCores == len(s.cores) {
+			break
+		}
+		saPortsUsed := 0
+		anyIssued := false
+		for ci, c := range s.cores {
+			if c.done {
+				if s.attr != nil {
+					s.attr.Note(ci, attr.Idle, -1, -1)
+				}
+				continue
+			}
+			if s.inj != nil && s.inj.Stall(ci, len(s.cores)) {
+				// Frozen core: issues nothing this cycle. The freeze window
+				// always expires (far below the no-progress watchdog), so a
+				// stall can delay but never deadlock the simulation.
+				c.stats.IssueStallCycles++
+				if s.attr != nil {
+					s.attr.Note(ci, attr.Fault, c.blk.Instrs[c.idx].ID, -1)
+				}
+				if s.coreLanes != nil && stallStart[ci] < 0 {
+					stallStart[ci] = cycle
+				}
+				continue
+			}
+			if memo {
+				// Requalify a memoized block without entering stepCore: the
+				// recorded condition is exactly what stepCore would find.
+				if cycle < c.wake {
+					c.stats.IssueStallCycles++
+					if s.coreLanes != nil && stallStart[ci] < 0 {
+						stallStart[ci] = cycle
+					}
+					continue
+				}
+				if q := c.blockedEmptyQ; q >= 0 {
+					if s.queues[q].Len() == 0 {
+						c.stats.IssueStallCycles++
+						if s.coreLanes != nil && stallStart[ci] < 0 {
+							stallStart[ci] = cycle
+						}
+						continue
+					}
+					c.blockedEmptyQ = -1
+				}
+				if q := c.blockedFullQ; q >= 0 {
+					if s.queues[q].Len() >= s.qcap {
+						c.stats.IssueStallCycles++
+						if s.coreLanes != nil && stallStart[ci] < 0 {
+							stallStart[ci] = cycle
+						}
+						continue
+					}
+					c.blockedFullQ = -1
+				}
+			}
+			var issued int
+			if fast {
+				issued = s.stepCoreFast(c, cycle, &saPortsUsed)
+			} else {
+				var tag cycleTag
+				issued, tag = s.stepCore(c, cycle, &saPortsUsed)
+				if s.attr != nil {
+					s.attr.Note(ci, tag.bucket, tag.instr, tag.queue)
+				}
+			}
+			if issued > 0 {
+				anyIssued = true
+				if stallStart[ci] >= 0 {
+					s.coreLanes[ci].SpanAt("stall", "sim", stallStart[ci], cycle-stallStart[ci])
+					stallStart[ci] = -1
+				}
+			} else {
+				c.stats.IssueStallCycles++
+				if s.coreLanes != nil && stallStart[ci] < 0 {
+					stallStart[ci] = cycle
+				}
+			}
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		if anyIssued {
+			lastProgress = cycle
+		}
+		if cycle-lastProgress > stallLimit {
+			return 0, fmt.Errorf("%w for %d cycles at cycle %d", ErrNoProgress, cycle-lastProgress, cycle)
+		}
+		cycle++
+		if cycle > maxCycles {
+			return 0, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
+		}
+	}
+
+	// Close any stall episode still open at termination (defensive: a
+	// core only finishes by issuing Ret, which closes its episode above).
+	for i, st := range stallStart {
+		if st >= 0 {
+			s.coreLanes[i].SpanAt("stall", "sim", st, cycle-st)
+		}
+	}
+	return cycle, nil
+}
+
+// runFast is the cycle loop for runs with no observability sinks and no
+// fault injector: per-core work is memo requalification plus stepCoreFast,
+// and cycles where no core can issue are jumped over in bulk. Timing,
+// statistics, termination, and error behavior are identical to run.
+func (s *system) runFast(maxCycles, stallLimit int64) (int64, error) {
+	n := len(s.cores)
+	var cycle, lastProgress int64
+	for s.doneCores < n {
+		saPortsUsed := 0
+		anyIssued := false
+		for _, c := range s.cores {
+			if c.done {
+				continue
+			}
+			// Requalify a memoized block without entering the step: the
+			// recorded condition is exactly what stepCoreFast would find.
+			if cycle < c.wake {
+				c.stats.IssueStallCycles++
+				continue
+			}
+			if q := c.blockedEmptyQ; q >= 0 {
+				if s.queues[q].Len() == 0 {
+					c.stats.IssueStallCycles++
+					continue
+				}
+				c.blockedEmptyQ = -1
+			}
+			if q := c.blockedFullQ; q >= 0 {
+				if s.queues[q].Len() >= s.qcap {
+					c.stats.IssueStallCycles++
+					continue
+				}
+				c.blockedFullQ = -1
+			}
+			if s.stepCoreFast(c, cycle, &saPortsUsed) > 0 {
+				anyIssued = true
+			} else {
+				c.stats.IssueStallCycles++
+			}
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		if anyIssued {
+			lastProgress = cycle
+		} else {
+			if cycle-lastProgress > stallLimit {
+				return 0, fmt.Errorf("%w for %d cycles at cycle %d", ErrNoProgress, cycle-lastProgress, cycle)
+			}
+			// Nothing issued, so every queue is frozen until some core
+			// wakes. If each live core is blocked either until a known wake
+			// cycle or on a queue (which cannot change before a wake), the
+			// intervening cycles are pure stalls for every live core: skip
+			// to the earliest wake and charge the skipped stalls in bulk.
+			// The skip is capped so the no-progress watchdog and the cycle
+			// budget fire on exactly the cycle they would serially.
+			next := int64(1) << 62
+			for _, c := range s.cores {
+				if c.done {
+					continue
+				}
+				if c.blockedEmptyQ >= 0 || c.blockedFullQ >= 0 {
+					continue
+				}
+				if c.wake > cycle {
+					if c.wake < next {
+						next = c.wake
+					}
+				} else {
+					// Blocked with no memoized end (SA-port contention or a
+					// zero-port config): must re-step next cycle.
+					next = cycle + 1
+					break
+				}
+			}
+			if lim := lastProgress + stallLimit + 1; next > lim {
+				next = lim
+			}
+			if next > maxCycles+1 {
+				next = maxCycles + 1
+			}
+			if d := next - cycle - 1; d > 0 {
+				for _, c := range s.cores {
+					if !c.done {
+						c.stats.IssueStallCycles += d
+					}
+				}
+				cycle = next - 1
+			}
+		}
+		cycle++
+		if cycle > maxCycles {
+			return 0, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
+		}
+	}
+	return cycle, nil
 }
 
 // RunSingle times a single-threaded function on one core of the machine —
