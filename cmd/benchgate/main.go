@@ -16,30 +16,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/benchsuite"
+	"repro/internal/cli"
 )
 
-func main() {
+func main() { cli.Main("benchgate", run) }
+
+func run() error {
 	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline artifact")
 	fresh := flag.String("fresh", "", "fresh artifact to gate (required)")
 	nsTol := flag.Float64("ns-tolerance", 2.0, "max fresh/baseline ns_per_op ratio before a slowdown is reported")
 	strictNS := flag.Bool("strict-ns", false, "treat slowdowns past -ns-tolerance as failures")
 	flag.Parse()
 	if *fresh == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
 		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("-fresh is required")
 	}
 
 	base, err := benchsuite.ReadFile(*baseline)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fr, err := benchsuite.ReadFile(*fresh)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	failed := false
@@ -72,12 +73,8 @@ func main() {
 
 	if failed {
 		fmt.Println("benchgate: FAIL")
-		os.Exit(1)
+		return cli.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-	os.Exit(1)
+	return nil
 }

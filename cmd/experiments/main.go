@@ -43,79 +43,62 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/fault"
-	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("experiments", run) }
+
+func run() (err error) {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 6a, 6b, 7, 8")
 	sel := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool size for the experiment matrix (1 = serial)")
 	flag.IntVar(jobs, "j", runtime.GOMAXPROCS(0), "shorthand for -jobs")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
+	var of cli.ObsFlags
+	of.Register()
 	timeline := flag.Bool("timeline", false, "record per-cycle simulator/interpreter lanes in the trace (large)")
-	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
 	explain := flag.Bool("explain", false, "annotate Figure 8 rows with the profiler's naive→COCO cycle-delta decomposition")
 	chaos := flag.String("chaos", "", "\"matrix\" runs the detector-coverage matrix; a fault class name injects that fault into the figure runs")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed (same seed = same schedule)")
 	failFast := flag.Bool("fail-fast", false, "disable the graceful-degradation chain: abort on the first stage failure")
 	flag.Parse()
+	of.Timeline = *timeline
 
 	switch *fig {
 	case "all", "1", "6a", "6b", "7", "8":
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (want all, 1, 6a, 6b, 7 or 8)\n", *fig)
-		os.Exit(2)
+		return cli.Usagef("unknown figure %q (want all, 1, 6a, 6b, 7 or 8)", *fig)
 	}
 	if *jobs < 1 {
 		*jobs = runtime.GOMAXPROCS(0)
 	}
 
-	ws := workloads.All()
-	if *sel != "" {
-		ws = nil
-		for _, name := range strings.Split(*sel, ",") {
-			w, err := workloads.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			ws = append(ws, w)
-		}
+	ws, err := cli.ResolveWorkloads(*sel)
+	if err != nil {
+		return err
 	}
 	cfg := sim.DefaultConfig()
 	ctx := context.Background()
-	var o *exp.Obs
-	if *tracePath != "" || *metricsPath != "" {
-		o = &exp.Obs{Timeline: *timeline}
-		if *tracePath != "" {
-			o.Trace = obs.NewTrace()
-			o.Trace.SetLimit(*traceLimit)
+	o := of.New()
+	defer func() {
+		if ferr := of.Flush(o); ferr != nil && err == nil {
+			err = ferr
 		}
-		if *metricsPath != "" {
-			o.Metrics = obs.NewRegistry()
-		}
-	}
+	}()
 	eopts := exp.EngineOptions{Jobs: *jobs, Obs: o, Degrade: !*failFast}
 	if *chaos != "" && *chaos != "matrix" {
 		cls, err := fault.ParseClass(*chaos)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v (or \"matrix\")\n", err)
-			os.Exit(2)
+			return cli.Usagef("%v (or \"matrix\")", err)
 		}
 		if cls == fault.MisplacePlan {
-			fmt.Fprintln(os.Stderr, "experiments: misplan is a compile-time fault; use -chaos matrix to exercise it")
-			os.Exit(2)
+			return cli.Usagef("misplan is a compile-time fault; use -chaos matrix to exercise it")
 		}
 		eopts.Chaos = &fault.Spec{Class: cls, Seed: *chaosSeed}
 	}
@@ -124,24 +107,23 @@ func main() {
 	if *chaos == "matrix" {
 		cells, err := engine.CoverageMatrix(ctx, ws, *chaosSeed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		exp.RenderChaos(os.Stdout, *chaosSeed, cells)
 		if !exp.ChaosOK(cells) {
-			os.Exit(1)
+			return cli.Exit(1)
 		}
-		return
+		return nil
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
-	timed := func(name string, f func() error) {
+	timed := func(name string, f func() error) error {
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "figure %s: %v (j=%d)\n", name, time.Since(start).Round(time.Millisecond), *jobs)
+		return nil
 	}
 
 	if want("6a") {
@@ -154,11 +136,14 @@ func main() {
 	}
 	var commRows []exp.CommRow
 	if want("1") || want("7") {
-		timed("1+7 (measure)", func() error {
+		err := timed("1+7 (measure)", func() error {
 			var err error
 			commRows, err = engine.CommExperiment(ctx, ws)
 			return err
 		})
+		if err != nil {
+			return err
+		}
 	}
 	if want("1") {
 		exp.RenderFig1(os.Stdout, commRows, "GREMIO")
@@ -172,15 +157,21 @@ func main() {
 	}
 	if want("8") {
 		var rows []exp.SpeedupRow
-		timed("8 (simulate)", func() error {
+		err := timed("8 (simulate)", func() error {
 			var err error
 			rows, err = engine.SpeedupExperiment(ctx, cfg, ws)
 			return err
 		})
+		if err != nil {
+			return err
+		}
 		if *explain {
-			timed("8 (explain)", func() error {
+			err := timed("8 (explain)", func() error {
 				return engine.AnnotateSpeedups(ctx, cfg, ws, rows)
 			})
+			if err != nil {
+				return err
+			}
 		}
 		exp.RenderFig8(os.Stdout, rows)
 	}
@@ -189,33 +180,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: %d faults injected, %d fallbacks taken\n",
 			st.FaultsInjected, st.Fallbacks)
 	}
-
-	if o != nil {
-		obs.RecordDrops(o.Trace, o.Metrics)
-		if *tracePath != "" {
-			writeObs(*tracePath, o.Trace.WriteJSON)
-			if n := o.Trace.Dropped(); n > 0 {
-				fmt.Fprintf(os.Stderr, "trace: %d events over the limit dropped (raise -trace-limit)\n", n)
-			}
-		}
-		if *metricsPath != "" {
-			writeObs(*metricsPath, o.Metrics.WriteJSON)
-		}
-	}
-}
-
-// writeObs writes one observability artifact, failing loudly: a truncated
-// trace would silently lie about what ran.
-func writeObs(path string, write func(w io.Writer) error) {
-	f, err := os.Create(path)
-	if err == nil {
-		err = write(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
-		os.Exit(1)
-	}
+	return nil
 }

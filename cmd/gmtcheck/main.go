@@ -30,13 +30,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/oracle"
-	"repro/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("gmtcheck", run) }
+
+func run() error {
 	seed := flag.Int64("seed", 1, "first program-generator seed")
 	n := flag.Int("n", 100, "number of random programs to check")
 	schedule := flag.String("schedule", "", "restrict to one scheduling policy (round-robin, random, adversarial); empty means the full matrix")
@@ -56,12 +58,10 @@ func main() {
 	if *chaos != "" {
 		cls, err := fault.ParseClass(*chaos)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
-			os.Exit(2)
+			return cli.Usagef("%v", err)
 		}
 		if cls == fault.MisplacePlan {
-			fmt.Fprintln(os.Stderr, "gmtcheck: misplan is a compile-time fault; use experiments -chaos matrix to exercise it")
-			os.Exit(2)
+			return cli.Usagef("misplan is a compile-time fault; use experiments -chaos matrix to exercise it")
 		}
 		chaosClass = cls
 		opts.Inject = &fault.Spec{Class: cls, Seed: *chaosSeed}
@@ -70,7 +70,7 @@ func main() {
 	}
 
 	if *workload != "" {
-		os.Exit(checkWorkloads(*workload, *seed))
+		return checkWorkloads(*workload, *seed)
 	}
 
 	fail := 0
@@ -81,8 +81,7 @@ func main() {
 		c := oracle.Generate(s)
 		rep, err := oracle.Check(c, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
-			os.Exit(2)
+			return cli.Usagef("%v", err)
 		}
 		runs += rep.Runs
 		programs += rep.Programs
@@ -126,8 +125,9 @@ func main() {
 			*n, programs, runs, fail)
 	}
 	if fail > 0 {
-		os.Exit(1)
+		return cli.Exit(1)
 	}
+	return nil
 }
 
 // chaosOK applies the per-class detector contract to one chaos-armed
@@ -145,21 +145,15 @@ func chaosOK(cls fault.Class, rep *oracle.Report) bool {
 
 // checkWorkloads runs the oracle experiment over one or all benchmark
 // workloads and prints a row per matrix cell.
-func checkWorkloads(name string, seed int64) int {
-	ws := workloads.All()
-	if name != "all" {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
-			return 2
-		}
-		ws = []*workloads.Workload{w}
+func checkWorkloads(name string, seed int64) error {
+	ws, err := cli.ResolveWorkloads(name)
+	if err != nil {
+		return err
 	}
 	engine := exp.NewEngine(exp.EngineOptions{})
 	rows, err := engine.OracleExperiment(context.Background(), ws, seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gmtcheck: %v\n", err)
-		return 2
+		return err
 	}
 	fail := 0
 	for _, r := range rows {
@@ -175,7 +169,7 @@ func checkWorkloads(name string, seed int64) int {
 		}
 	}
 	if fail > 0 {
-		return 1
+		return cli.Exit(1)
 	}
-	return 0
+	return nil
 }

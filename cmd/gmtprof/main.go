@@ -24,49 +24,49 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/obs"
-	"repro/internal/partition"
 	"repro/internal/profile"
 	"repro/internal/sim"
-	"repro/internal/workloads"
 )
 
 // subjectPid places the profiled run's lanes in the trace, away from the
 // pid ranges the experiment pipelines use.
 const subjectPid = 4000
 
-func main() {
+func main() { cli.Main("gmtprof", run) }
+
+func run() (err error) {
 	name := flag.String("workload", "ks", "workload name (see cmd/experiments -fig 6b)")
 	part := flag.String("partitioner", "gremio", "gremio or dswp")
 	against := flag.String("against", "none",
 		"baseline to explain the subject against: the other partitioner's name, naive, or none")
 	top := flag.Int("top", 10, "critical-path list length (0 = all)")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
-	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
+	var of cli.ObsFlags
+	of.Register()
 	flag.Parse()
 
-	w, err := workloads.ByName(*name)
-	die(err)
-	p, err := partitionerByName(*part)
-	die(err)
+	w, err := cli.ResolveWorkload(*name)
+	if err != nil {
+		return err
+	}
+	p, err := cli.ResolvePartitioner(*part)
+	if err != nil {
+		return err
+	}
 
-	var o *exp.Obs
+	o := of.New()
+	defer func() {
+		if ferr := of.Flush(o); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	var tr *obs.Trace
-	if *tracePath != "" || *metricsPath != "" {
-		o = &exp.Obs{}
-		if *tracePath != "" {
-			tr = obs.NewTrace()
-			tr.SetLimit(*traceLimit)
-			o.Trace = tr
-		}
-		if *metricsPath != "" {
-			o.Metrics = obs.NewRegistry()
-		}
+	if o != nil {
+		tr = o.Trace
 	}
 
 	ctx := context.Background()
@@ -74,8 +74,12 @@ func main() {
 	cfg := sim.DefaultConfig()
 
 	subject, err := eng.Profile(ctx, cfg, w, p, true, tr, subjectPid)
-	die(err)
-	die(subject.Render(os.Stdout, *top))
+	if err != nil {
+		return err
+	}
+	if err := subject.Render(os.Stdout, *top); err != nil {
+		return err
+	}
 
 	// The baseline run is profiled without flows so the trace stays the
 	// subject's; attribution and the critical path are still exact.
@@ -84,62 +88,27 @@ func main() {
 	case "none", "":
 	case "naive":
 		baseline, err = eng.Profile(ctx, cfg, w, p, false, nil, 0)
-		die(err)
+		if err != nil {
+			return err
+		}
 	default:
-		bp, perr := partitionerByName(*against)
-		die(perr)
+		bp, perr := cli.ResolvePartitioner(*against)
+		if perr != nil {
+			return perr
+		}
 		if bp.Name() == p.Name() {
-			die(fmt.Errorf("-against %s is the subject's own partitioner; use naive or the other one", *against))
+			return cli.Usagef("-against %s is the subject's own partitioner; use naive or the other one", *against)
 		}
 		baseline, err = eng.Profile(ctx, cfg, w, bp, true, nil, 0)
-		die(err)
+		if err != nil {
+			return err
+		}
 	}
 	if baseline != nil {
 		fmt.Println()
-		die(profile.Explain(baseline, subject).Render(os.Stdout, *top))
-	}
-
-	if o != nil {
-		obs.RecordDrops(o.Trace, o.Metrics)
-		if *tracePath != "" {
-			writeObs(*tracePath, o.Trace.WriteJSON)
-			if n := o.Trace.Dropped(); n > 0 {
-				fmt.Fprintf(os.Stderr, "trace: %d events over the limit dropped (raise -trace-limit)\n", n)
-			}
-		}
-		if *metricsPath != "" {
-			writeObs(*metricsPath, o.Metrics.WriteJSON)
+		if err := profile.Explain(baseline, subject).Render(os.Stdout, *top); err != nil {
+			return err
 		}
 	}
-}
-
-func partitionerByName(name string) (partition.Partitioner, error) {
-	switch name {
-	case "gremio":
-		return partition.GREMIO{}, nil
-	case "dswp":
-		return partition.DSWP{}, nil
-	}
-	return nil, fmt.Errorf("unknown partitioner %q", name)
-}
-
-// writeObs writes one observability artifact, dying on any error.
-func writeObs(path string, write func(w io.Writer) error) {
-	f, err := os.Create(path)
-	if err == nil {
-		err = write(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		die(fmt.Errorf("writing %s: %w", path, err))
-	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gmtprof:", err)
-		os.Exit(1)
-	}
+	return nil
 }

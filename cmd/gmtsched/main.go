@@ -17,59 +17,49 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
-	"os"
 
 	"repro/internal/budget"
+	"repro/internal/cli"
 	"repro/internal/coco"
 	"repro/internal/exp"
 	"repro/internal/interp"
-	"repro/internal/obs"
-	"repro/internal/partition"
 	"repro/internal/queue"
 	"repro/internal/sim"
-	"repro/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("gmtsched", run) }
+
+func run() (err error) {
 	name := flag.String("workload", "ks", "workload name (see cmd/experiments -fig 6b)")
 	part := flag.String("partitioner", "gremio", "gremio or dswp")
 	noCoco := flag.Bool("nococo", false, "disable COCO (plain MTCG placement)")
 	simulate := flag.Bool("sim", true, "run the cycle-level simulator")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON to this file")
-	traceLimit := flag.Int("trace-limit", 0, "trace event limit (0 = default; drops are counted, never silent)")
+	// The single-workload view records the detailed timelines by default;
+	// traces stay manageable because only one pipeline runs.
+	of := cli.ObsFlags{Timeline: true}
+	of.Register()
 	flag.Parse()
 
-	var o *exp.Obs
-	if *tracePath != "" || *metricsPath != "" {
-		// The single-workload view records the detailed timelines by
-		// default; traces stay manageable because only one pipeline runs.
-		o = &exp.Obs{Timeline: true}
-		if *tracePath != "" {
-			o.Trace = obs.NewTrace()
-			o.Trace.SetLimit(*traceLimit)
-		}
-		if *metricsPath != "" {
-			o.Metrics = obs.NewRegistry()
-		}
+	w, err := cli.ResolveWorkload(*name)
+	if err != nil {
+		return err
+	}
+	p, err := cli.ResolvePartitioner(*part)
+	if err != nil {
+		return err
 	}
 
-	w, err := workloads.ByName(*name)
-	die(err)
-
-	var p partition.Partitioner
-	switch *part {
-	case "gremio":
-		p = partition.GREMIO{}
-	case "dswp":
-		p = partition.DSWP{}
-	default:
-		die(fmt.Errorf("unknown partitioner %q", *part))
-	}
+	o := of.New()
+	defer func() {
+		if ferr := of.Flush(o); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	pipe, err := exp.BuildObserved(w, p, coco.DefaultOptions(), o)
-	die(err)
+	if err != nil {
+		return err
+	}
 	prog := pipe.Coco
 	if *noCoco {
 		prog = pipe.Naive
@@ -85,7 +75,9 @@ func main() {
 	// single-threaded one.
 	ref := w.Ref()
 	st, err := interp.Run(w.F, ref.Args, append([]int64(nil), ref.Mem...), budget.Default().ProfileSteps)
-	die(err)
+	if err != nil {
+		return err
+	}
 	mtCfg := interp.MTConfig{
 		Threads: prog.Threads, NumQueues: prog.NumQueues, QueueCap: pipe.QueueCap,
 		Assign: pipe.Assign,
@@ -105,11 +97,13 @@ func main() {
 		}
 	}
 	mt, err := interp.RunMT(mtCfg)
-	die(err)
+	if err != nil {
+		return err
+	}
 	for i := range st.LiveOuts {
 		if st.LiveOuts[i] != mt.LiveOuts[i] {
-			die(fmt.Errorf("MISMATCH: live-out %d: single-threaded %d, multi-threaded %d",
-				i, st.LiveOuts[i], mt.LiveOuts[i]))
+			return fmt.Errorf("MISMATCH: live-out %d: single-threaded %d, multi-threaded %d",
+				i, st.LiveOuts[i], mt.LiveOuts[i])
 		}
 	}
 	fmt.Printf("correctness: multi-threaded run matches single-threaded (%d live-outs)\n", len(st.LiveOuts))
@@ -121,44 +115,15 @@ func main() {
 	if *simulate {
 		cfg := sim.DefaultConfig()
 		stc, err := exp.SingleThreadedCyclesObserved(cfg, w, o)
-		die(err)
+		if err != nil {
+			return err
+		}
 		mtc, err := pipe.MeasureCycles(pipe.Machine(cfg), prog)
-		die(err)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("cycles:      single-threaded=%d multi-threaded=%d speedup=%.2fx\n",
 			stc, mtc, float64(stc)/float64(mtc))
 	}
-
-	if o != nil {
-		obs.RecordDrops(o.Trace, o.Metrics)
-		if *tracePath != "" {
-			writeObs(*tracePath, o.Trace.WriteJSON)
-			if n := o.Trace.Dropped(); n > 0 {
-				fmt.Fprintf(os.Stderr, "trace: %d events over the limit dropped (raise -trace-limit)\n", n)
-			}
-		}
-		if *metricsPath != "" {
-			writeObs(*metricsPath, o.Metrics.WriteJSON)
-		}
-	}
-}
-
-// writeObs writes one observability artifact, dying on any error.
-func writeObs(path string, write func(w io.Writer) error) {
-	f, err := os.Create(path)
-	if err == nil {
-		err = write(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		die(fmt.Errorf("writing %s: %w", path, err))
-	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gmtsched:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,120 @@
+// Command gmtserve runs scheduling-as-a-service: an HTTP/JSON daemon
+// that compiles and schedules IR workloads on request, deduplicates
+// identical in-flight requests, and serves repeated requests from a
+// persistent content-addressed artifact cache — byte-identical whether
+// a response is computed cold, served warm from memory or disk, or
+// merged into a concurrent request's flight.
+//
+// Usage:
+//
+//	gmtserve [-addr :8437] [-cache-dir DIR] [-mem-entries N] [-disk-entries N]
+//	         [-jobs N] [-queue N] [-max-profile-steps N] [-max-measure-steps N]
+//	         [-max-sim-cycles N] [-no-degrade] [-metrics out.json]
+//
+// API (see internal/serve):
+//
+//	POST /v1/schedule     {"workload":"ks","partitioner":"gremio","sim":true}
+//	POST /v1/batch        {"requests":[...]} -> in-order responses
+//	GET  /v1/workloads    GET /v1/partitioners
+//	GET  /v1/stats        GET /v1/metrics       GET /v1/healthz
+//
+// -cache-dir "" disables the disk layer (no warmth across restarts).
+// -metrics writes the full metrics registry on shutdown — atomically,
+// and on error paths too, like every other command. SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() { cli.Main("gmtserve", run) }
+
+func run() (err error) {
+	addr := flag.String("addr", ":8437", "listen address")
+	cacheDir := flag.String("cache-dir", ".gmtserve-cache", "artifact cache directory (\"\" = memory-only)")
+	memEntries := flag.Int("mem-entries", 0, "in-memory cache entries (0 = default 1024)")
+	diskEntries := flag.Int("disk-entries", 0, "on-disk cache entries before LRU eviction (0 = unbounded)")
+	jobs := flag.Int("jobs", 0, "batch fan-out worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "bounded compute-admission queue depth (0 = default 64)")
+	maxProfile := flag.Int64("max-profile-steps", 0, "per-request profile-step budget cap (0 = uncapped)")
+	maxMeasure := flag.Int64("max-measure-steps", 0, "per-request measure-step budget cap (0 = uncapped)")
+	maxSim := flag.Int64("max-sim-cycles", 0, "per-request simulator-cycle budget cap (0 = uncapped)")
+	noDegrade := flag.Bool("no-degrade", false, "disable the graceful-degradation chain for requests that don't choose")
+	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON on shutdown")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	defer func() {
+		if *metricsPath == "" {
+			return
+		}
+		if werr := cli.WriteFileAtomic(*metricsPath, reg.WriteJSON); werr != nil && err == nil {
+			err = werr
+		}
+	}()
+
+	s, err := serve.New(serve.Options{
+		CacheDir:    *cacheDir,
+		MemEntries:  *memEntries,
+		DiskEntries: *diskEntries,
+		Jobs:        *jobs,
+		Queue:       *queue,
+		MaxBudget: budget.Budget{
+			ProfileSteps: *maxProfile,
+			MeasureSteps: *maxMeasure,
+			SimCycles:    *maxSim,
+		},
+		Degrade: !*noDegrade,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "gmtserve: listening on %s (cache %s)\n", *addr, cacheDescr(*cacheDir))
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "gmtserve: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cacheDescr(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}

@@ -13,16 +13,17 @@ import (
 	"os"
 
 	"repro/internal/budget"
+	"repro/internal/cli"
 	"repro/internal/coco"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mtcg"
-	"repro/internal/partition"
 	"repro/internal/pdg"
-	"repro/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("irdump", run) }
+
+func run() error {
 	name := flag.String("workload", "ks", "workload name")
 	part := flag.String("partitioner", "gremio", "gremio or dswp")
 	useCoco := flag.Bool("coco", false, "apply COCO optimization")
@@ -30,35 +31,34 @@ func main() {
 	dot := flag.String("dot", "", "emit Graphviz instead of text: cfg or pdg")
 	flag.Parse()
 
-	w, err := workloads.ByName(*name)
-	die(err)
+	w, err := cli.ResolveWorkload(*name)
+	if err != nil {
+		return err
+	}
+	p, err := cli.ResolvePartitioner(*part)
+	if err != nil {
+		return err
+	}
 	in := w.Train()
 	st, err := interp.Run(w.F, in.Args, in.Mem, budget.Experiments().ProfileSteps)
-	die(err)
+	if err != nil {
+		return err
+	}
 	g := pdg.Build(w.F, w.Objects)
 
-	var p partition.Partitioner
-	switch *part {
-	case "gremio":
-		p = partition.GREMIO{}
-	case "dswp":
-		p = partition.DSWP{}
-	default:
-		die(fmt.Errorf("unknown partitioner %q", *part))
-	}
 	assign, err := p.Partition(w.F, g, st.Profile, *threads)
-	die(err)
+	if err != nil {
+		return err
+	}
 
 	switch *dot {
 	case "cfg":
-		die(pdg.WriteCFGDOT(os.Stdout, w.F))
-		return
+		return pdg.WriteCFGDOT(os.Stdout, w.F)
 	case "pdg":
-		die(g.WriteDOT(os.Stdout, assign))
-		return
+		return g.WriteDOT(os.Stdout, assign)
 	case "":
 	default:
-		die(fmt.Errorf("unknown -dot mode %q (want cfg or pdg)", *dot))
+		return cli.Usagef("unknown -dot mode %q (want cfg or pdg)", *dot)
 	}
 
 	fmt.Printf("=== %s: original IR (with %s thread assignment) ===\n", w.Name, p.Name())
@@ -76,7 +76,9 @@ func main() {
 	var plan *mtcg.Plan
 	if *useCoco {
 		plan, err = coco.Plan(w.F, g, assign, *threads, st.Profile, coco.DefaultOptions())
-		die(err)
+		if err != nil {
+			return err
+		}
 	} else {
 		plan = mtcg.NaivePlan(w.F, g, assign, *threads)
 	}
@@ -85,15 +87,11 @@ func main() {
 		fmt.Printf("  %v\n", c)
 	}
 	prog, err := mtcg.Generate(plan)
-	die(err)
+	if err != nil {
+		return err
+	}
 	for _, ft := range prog.Threads {
 		fmt.Printf("\n=== %s ===\n%s", ft.Name, ft)
 	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,332 @@
+// Package cache is the persistent, content-addressed artifact cache
+// behind scheduling-as-a-service (cmd/gmtserve): response payloads are
+// keyed by a fingerprint of everything that determines their bytes (IR
+// content hash × partitioner × options × schema version, see Hasher) and
+// stored in two layers — a bounded in-memory LRU in front of an on-disk
+// store that survives process restarts.
+//
+// Every stored payload is wrapped in a checksummed envelope; a truncated,
+// garbage, or tampered entry is indistinguishable from a miss (counted,
+// deleted, and recomputed by the caller — never served). Writes are
+// atomic (temp file + rename), so a crashed writer also degrades to a
+// miss rather than a corrupt read. The cache stores opaque bytes and
+// never re-serializes them, which is what lets the serving layer promise
+// byte-identical responses whether a request is served cold, warm from
+// memory, warm from disk, or merged into another request's flight (see
+// Group).
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// entryMagic versions the on-disk envelope (not the payload schema —
+// that is the caller's SchemaVersion, hashed into the key). Bump it only
+// if the envelope framing itself changes; old entries then read as
+// corrupt, i.e. misses.
+const entryMagic = "gmtcache1"
+
+// Options configures a Cache.
+type Options struct {
+	// Dir is the on-disk store root; "" disables the disk layer (the
+	// cache is then memory-only and does not survive restarts).
+	Dir string
+	// MemEntries bounds the in-memory LRU layer; <= 0 means 1024.
+	MemEntries int
+	// DiskEntries bounds the on-disk store; <= 0 means unbounded. When
+	// the bound is exceeded the oldest entries (by modification time)
+	// are evicted. Eviction order never affects response bytes — an
+	// evicted entry is simply recomputed.
+	DiskEntries int
+	// Metrics, when non-nil, receives the cache counters: hit.mem,
+	// hit.disk, miss, put, corrupt, evict.mem, evict.disk.
+	Metrics *obs.Scope
+}
+
+// Cache is a two-layer (memory LRU + disk) content-addressed byte store.
+// All methods are safe for concurrent use.
+type Cache struct {
+	opts Options
+
+	mu   sync.Mutex
+	mem  map[string]*list.Element
+	lru  list.List // front = most recently used
+	disk int       // tracked entry count when DiskEntries > 0
+}
+
+type memEntry struct {
+	key     string
+	payload []byte
+}
+
+// New opens (creating if needed) a cache rooted at opts.Dir.
+func New(opts Options) (*Cache, error) {
+	if opts.MemEntries <= 0 {
+		opts.MemEntries = 1024
+	}
+	c := &Cache{opts: opts, mem: map[string]*list.Element{}}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		if opts.DiskEntries > 0 {
+			n, err := countEntries(opts.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("cache: %w", err)
+			}
+			c.disk = n
+		}
+	}
+	return c, nil
+}
+
+// pathKey is the content address of a key: its SHA-256, in hex. Keys are
+// usually already fingerprints (see Hasher), but hashing again makes any
+// string — including ones with separators or newlines — a safe filename.
+func pathKey(key string) string {
+	s := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(s[:])
+}
+
+// entryPath shards entries over 256 subdirectories by hash prefix.
+func (c *Cache) entryPath(pk string) string {
+	return filepath.Join(c.opts.Dir, pk[:2], pk)
+}
+
+// Get returns the payload stored under key. The second result reports
+// whether the key was present (in either layer) with a valid checksum; a
+// corrupt or truncated disk entry is deleted and reported as a miss.
+// The returned slice is the caller's to keep.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.mem[key]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*memEntry).payload
+		out := append([]byte(nil), p...)
+		c.mu.Unlock()
+		c.opts.Metrics.Counter("hit.mem").Inc()
+		return out, true
+	}
+	c.mu.Unlock()
+
+	if c.opts.Dir == "" {
+		c.opts.Metrics.Counter("miss").Inc()
+		return nil, false
+	}
+	pk := pathKey(key)
+	raw, err := os.ReadFile(c.entryPath(pk))
+	if err != nil {
+		c.opts.Metrics.Counter("miss").Inc()
+		return nil, false
+	}
+	payload, ok := decodeEntry(raw, pk)
+	if !ok {
+		// Truncated or garbage entry: treat as a miss and drop the file
+		// so the next Put rewrites it cleanly.
+		c.opts.Metrics.Counter("corrupt").Inc()
+		c.opts.Metrics.Counter("miss").Inc()
+		if os.Remove(c.entryPath(pk)) == nil && c.opts.DiskEntries > 0 {
+			c.mu.Lock()
+			c.disk--
+			c.mu.Unlock()
+		}
+		return nil, false
+	}
+	c.insertMem(key, payload)
+	c.opts.Metrics.Counter("hit.disk").Inc()
+	return append([]byte(nil), payload...), true
+}
+
+// Put stores payload under key in both layers. The payload is copied;
+// later mutation of the argument does not affect the cache.
+func (c *Cache) Put(key string, payload []byte) error {
+	p := append([]byte(nil), payload...)
+	c.insertMem(key, p)
+	c.opts.Metrics.Counter("put").Inc()
+	if c.opts.Dir == "" {
+		return nil
+	}
+	pk := pathKey(key)
+	path := c.entryPath(pk)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	_, statErr := os.Stat(path) // pre-existing entry? (overwrite ≠ growth)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	_, werr := tmp.Write(encodeEntry(p, pk))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: writing %s: %w", pk[:12], werr)
+	}
+	if c.opts.DiskEntries > 0 && statErr != nil {
+		c.mu.Lock()
+		c.disk++
+		over := c.disk - c.opts.DiskEntries
+		c.mu.Unlock()
+		if over > 0 {
+			c.evictDisk(over)
+		}
+	}
+	return nil
+}
+
+// insertMem adds (or refreshes) a memory-layer entry, evicting from the
+// LRU tail past the bound.
+func (c *Cache) insertMem(key string, payload []byte) {
+	c.mu.Lock()
+	if el, ok := c.mem[key]; ok {
+		el.Value.(*memEntry).payload = payload
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.mem[key] = c.lru.PushFront(&memEntry{key: key, payload: payload})
+	var evicted int64
+	for c.lru.Len() > c.opts.MemEntries {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.mem, tail.Value.(*memEntry).key)
+		evicted++
+	}
+	c.mu.Unlock()
+	c.opts.Metrics.Counter("evict.mem").Add(evicted)
+}
+
+// MemLen returns the number of entries in the memory layer.
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// evictDisk removes the n oldest on-disk entries by modification time.
+func (c *Cache) evictDisk(n int) {
+	type aged struct {
+		path string
+		mod  int64
+	}
+	var entries []aged
+	walkEntries(c.opts.Dir, func(path string, info os.FileInfo) {
+		entries = append(entries, aged{path: path, mod: info.ModTime().UnixNano()})
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mod != entries[j].mod {
+			return entries[i].mod < entries[j].mod
+		}
+		return entries[i].path < entries[j].path
+	})
+	var evicted int64
+	for i := 0; i < n && i < len(entries); i++ {
+		if os.Remove(entries[i].path) == nil {
+			evicted++
+		}
+	}
+	c.mu.Lock()
+	c.disk -= int(evicted)
+	c.mu.Unlock()
+	c.opts.Metrics.Counter("evict.disk").Add(evicted)
+}
+
+// encodeEntry wraps a payload in the checksummed envelope:
+//
+//	gmtcache1 <path-key> <payload-len> <payload-sha256>\n<payload>
+func encodeEntry(payload []byte, pk string) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d %s\n", entryMagic, pk, len(payload), hex.EncodeToString(sum[:]))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeEntry validates an envelope read from disk: magic, key binding,
+// length, and payload checksum must all match, otherwise the entry is
+// corrupt.
+func decodeEntry(raw []byte, pk string) ([]byte, bool) {
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	fields := strings.Split(string(raw[:nl]), " ")
+	if len(fields) != 4 || fields[0] != entryMagic || fields[1] != pk {
+		return nil, false
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil || n < 0 {
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[3] {
+		return nil, false
+	}
+	return payload, true
+}
+
+// countEntries counts on-disk entries under root.
+func countEntries(root string) (int, error) {
+	n := 0
+	err := walkEntries(root, func(string, os.FileInfo) { n++ })
+	return n, err
+}
+
+// walkEntries visits every entry file under root (skipping temp files).
+func walkEntries(root string, visit func(path string, info os.FileInfo)) error {
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || strings.HasPrefix(f.Name(), ".tmp-") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			visit(filepath.Join(root, shard.Name(), f.Name()), info)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// Hasher builds a collision-resistant fingerprint from labeled fields.
+// Every field is length-prefixed before hashing, so no concatenation of
+// names and values is ambiguous ("ab"+"c" never hashes like "a"+"bc"),
+// and the schema version is folded in first — bumping it invalidates
+// every previously issued key at once, which is the cache's versioning
+// rule: any change to what a key's payload means is a schema bump, never
+// an in-place reinterpretation.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher starts a fingerprint bound to the given payload schema
+// version.
+func NewHasher(schema int) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Int("schema", int64(schema))
+	return h
+}
+
+// Field folds one labeled string into the fingerprint.
+func (h *Hasher) Field(name, value string) {
+	fmt.Fprintf(h.h, "%d:%s=%d:%s;", len(name), name, len(value), value)
+}
+
+// Int folds one labeled integer into the fingerprint.
+func (h *Hasher) Int(name string, v int64) {
+	h.Field(name, fmt.Sprintf("%d", v))
+}
+
+// Bool folds one labeled boolean into the fingerprint.
+func (h *Hasher) Bool(name string, v bool) {
+	h.Field(name, fmt.Sprintf("%t", v))
+}
+
+// Int64s folds a labeled integer slice into the fingerprint.
+func (h *Hasher) Int64s(name string, vs []int64) {
+	fmt.Fprintf(h.h, "%d:%s=[%d]", len(name), name, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(h.h, "%d,", v)
+	}
+	h.h.Write([]byte(";"))
+}
+
+// Sum returns the fingerprint as 64 hex characters.
+func (h *Hasher) Sum() string {
+	return hex.EncodeToString(h.h.Sum(nil))
+}

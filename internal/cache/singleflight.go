@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Group deduplicates concurrent work on the same key: while one caller
+// (the leader) computes, every other caller with the same key blocks and
+// receives the leader's exact result bytes instead of computing again.
+// Completed flights are forgotten immediately, so a later request for the
+// same key computes afresh (or, in the serving layer, hits the cache the
+// leader filled).
+type Group struct {
+	mu     sync.Mutex
+	flight map[string]*flight
+	merged atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. It returns fn's
+// result, and merged=true for the callers that waited on another's
+// flight instead of running fn themselves. The returned bytes are shared
+// between the leader and all merged callers and must not be mutated.
+func (g *Group) Do(key string, fn func() ([]byte, error)) (val []byte, err error, merged bool) {
+	g.mu.Lock()
+	if g.flight == nil {
+		g.flight = map[string]*flight{}
+	}
+	if f, ok := g.flight[key]; ok {
+		// Counted at join time, so Merged() reflects callers currently
+		// blocked on a flight as well as completed merges.
+		g.merged.Add(1)
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flight[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}
+
+// Merged returns the number of calls that were deduplicated into another
+// caller's flight since the group was created.
+func (g *Group) Merged() int64 { return g.merged.Load() }

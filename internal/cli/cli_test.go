@@ -1,0 +1,185 @@
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	if c := ExitCode(nil); c != 0 {
+		t.Errorf("nil = %d, want 0", c)
+	}
+	if c := ExitCode(errors.New("boom")); c != 1 {
+		t.Errorf("plain error = %d, want 1", c)
+	}
+	if c := ExitCode(Usagef("bad flag")); c != 2 {
+		t.Errorf("usage error = %d, want 2", c)
+	}
+	if c := ExitCode(Exit(3)); c != 3 {
+		t.Errorf("Exit(3) = %d, want 3", c)
+	}
+	if c := ExitCode(fmt.Errorf("wrapped: %w", Usagef("inner"))); c != 2 {
+		t.Errorf("wrapped usage error = %d, want 2", c)
+	}
+}
+
+// failAfter writes n bytes and then fails — a truncated-write simulator.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) write(w io.Writer) error {
+	if f.n > 0 {
+		if _, err := w.Write([]byte(strings.Repeat("x", f.n))); err != nil {
+			return err
+		}
+	}
+	return errors.New("injected write failure")
+}
+
+// TestWriteFileAtomicNeverLeavesPartialFile is the regression test for
+// the os.Exit truncation bug: a failing writer must leave no file at the
+// destination and no temp litter in the directory.
+func TestWriteFileAtomicNeverLeavesPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	err := WriteFileAtomic(path, (&failAfter{n: 512}).write)
+	if err == nil {
+		t.Fatal("expected write failure")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("partial file left at %s", path)
+	}
+	left, _ := os.ReadDir(dir)
+	if len(left) != 0 {
+		t.Fatalf("temp litter left behind: %v", left)
+	}
+}
+
+// TestWriteFileAtomicPreservesPreviousArtifact: a failing rewrite must
+// not clobber the previous complete artifact.
+func TestWriteFileAtomicPreservesPreviousArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	good := []byte(`{"ok": true}`)
+	if err := WriteFileAtomic(path, func(w io.Writer) error { _, err := w.Write(good); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, (&failAfter{n: 3}).write); err == nil {
+		t.Fatal("expected write failure")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(good) {
+		t.Fatalf("previous artifact clobbered: %q", got)
+	}
+}
+
+// TestFailingRunFlushesCompleteArtifacts emulates a command body that
+// records observability data and then fails: the deferred Flush must
+// still write complete, parseable JSON files.
+func TestFailingRunFlushesCompleteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	flags := &ObsFlags{
+		Trace:   filepath.Join(dir, "trace.json"),
+		Metrics: filepath.Join(dir, "metrics.json"),
+	}
+
+	run := func() (err error) {
+		o := flags.New()
+		defer func() {
+			if ferr := flags.Flush(o); ferr != nil && err == nil {
+				err = ferr
+			}
+		}()
+		// Record something, then fail mid-run the way a budget overrun or
+		// bad workload would.
+		o.Metrics.Counter("test.runs").Inc()
+		o.Trace.Lane(1, 0).Span("phase", "pipeline", 10)
+		return errors.New("simulated mid-run failure")
+	}
+
+	err := run()
+	if err == nil || err.Error() != "simulated mid-run failure" {
+		t.Fatalf("run error = %v", err)
+	}
+	for _, p := range []string{flags.Trace, flags.Metrics} {
+		raw, rerr := os.ReadFile(p)
+		if rerr != nil {
+			t.Fatalf("artifact %s missing after failing run: %v", p, rerr)
+		}
+		if !json.Valid(raw) {
+			t.Fatalf("artifact %s is not complete JSON after failing run:\n%s", p, raw)
+		}
+	}
+}
+
+func TestFlushNilObsIsNoop(t *testing.T) {
+	flags := &ObsFlags{}
+	if err := flags.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if flags.New() != nil {
+		t.Fatal("New without paths should be nil")
+	}
+}
+
+func TestResolveWorkloadListsValidNames(t *testing.T) {
+	if _, err := ResolveWorkload("ks"); err != nil {
+		t.Fatalf("ks: %v", err)
+	}
+	_, err := ResolveWorkload("nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ExitCode(err) != 2 {
+		t.Errorf("exit code = %d, want 2", ExitCode(err))
+	}
+	for _, name := range WorkloadNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
+	}
+}
+
+func TestResolveWorkloadsSelections(t *testing.T) {
+	all, err := ResolveWorkloads("")
+	if err != nil || len(all) != len(WorkloadNames()) {
+		t.Fatalf("empty selection: %d workloads, err=%v", len(all), err)
+	}
+	some, err := ResolveWorkloads(" ks , 181.mcf ")
+	if err != nil || len(some) != 2 || some[0].Name != "ks" || some[1].Name != "181.mcf" {
+		t.Fatalf("csv selection = %v, err=%v", some, err)
+	}
+	if _, err := ResolveWorkloads("ks,bogus"); ExitCode(err) != 2 {
+		t.Fatalf("bad csv selection should be usage error, got %v", err)
+	}
+}
+
+func TestResolvePartitionerListsValidNames(t *testing.T) {
+	for _, name := range []string{"gremio", "GREMIO", "dswp", "DSWP"} {
+		if _, err := ResolvePartitioner(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	_, err := ResolvePartitioner("stripe")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ExitCode(err) != 2 {
+		t.Errorf("exit code = %d, want 2", ExitCode(err))
+	}
+	for _, name := range PartitionerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
+	}
+}

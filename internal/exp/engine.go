@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/cache"
 	"repro/internal/coco"
 	"repro/internal/fault"
 	"repro/internal/interp"
@@ -66,6 +67,7 @@ type Engine struct {
 	jobs    int
 	budget  budget.Budget
 	opts    coco.Options
+	optsKey string
 	obs     *Obs
 	chaos   *fault.Spec
 	degrade bool
@@ -95,8 +97,34 @@ func (m *memo[T]) do(f func() (T, error)) (T, error) {
 }
 
 type stKey struct {
-	workload string
+	workload string // content fingerprint, not name
 	cfg      sim.Config
+}
+
+// optionsKey fingerprints every engine-level option that affects the
+// memoized artifacts: the budgets bound profiling/measurement/simulation
+// and the COCO options change generated programs. It is folded into every
+// cache key so the keying scheme stays correct if two engines ever share
+// a store — the same scheme internal/cache uses for its persistent keys.
+func optionsKey(b budget.Budget, opts coco.Options) string {
+	h := cache.NewHasher(1)
+	h.Int("budget.profile", b.ProfileSteps)
+	h.Int("budget.measure", b.MeasureSteps)
+	h.Int("budget.sim", b.SimCycles)
+	h.Bool("coco.control", opts.ControlPenalties)
+	h.Bool("coco.sharemem", opts.ShareMemSync)
+	h.Bool("coco.dinic", opts.Dinic)
+	h.Bool("coco.edmondskarp", opts.EdmondsKarp)
+	h.Bool("coco.pushrelabel", opts.PushRelabel)
+	return h.Sum()
+}
+
+// artifactKey identifies a workload's memoized artifact by content: the
+// workload fingerprint covers the IR, memory objects, and both inputs, so
+// two different workloads that happen to share a Name never collide (they
+// did when artifacts were keyed by bare name).
+func (e *Engine) artifactKey(w *workloads.Workload) string {
+	return e.optsKey + "|" + w.Fingerprint()
 }
 
 // NewEngine returns an engine with empty caches.
@@ -105,10 +133,12 @@ func NewEngine(o EngineOptions) *Engine {
 	if o.Coco != nil {
 		opts = *o.Coco
 	}
+	b := o.Budget.OrElse(budget.Experiments())
 	return &Engine{
 		jobs:      o.Jobs,
-		budget:    o.Budget.OrElse(budget.Experiments()),
+		budget:    b,
 		opts:      opts,
+		optsKey:   optionsKey(b, opts),
 		obs:       o.Obs,
 		chaos:     o.Chaos,
 		degrade:   o.Degrade,
@@ -196,7 +226,7 @@ func (e *Engine) stSlot(key stKey) *memo[int64] {
 
 // Artifact returns w's memoized profile + PDG, computing them on first use.
 func (e *Engine) Artifact(ctx context.Context, w *workloads.Workload) (*Artifact, error) {
-	return e.artifactSlot(w.Name).do(func() (*Artifact, error) {
+	return e.artifactSlot(e.artifactKey(w)).do(func() (*Artifact, error) {
 		e.profileRuns.Add(1)
 		e.pdgBuilds.Add(1)
 		return buildArtifact(ctx, w, e.budget, e.obs)
@@ -206,7 +236,7 @@ func (e *Engine) Artifact(ctx context.Context, w *workloads.Workload) (*Artifact
 // Pipeline returns the memoized pipeline for (w, part), building it — and
 // its underlying artifact — on first use.
 func (e *Engine) Pipeline(ctx context.Context, w *workloads.Workload, part partition.Partitioner) (*Pipeline, error) {
-	return e.pipelineSlot(w.Name + "/" + part.Name()).do(func() (*Pipeline, error) {
+	return e.pipelineSlot(e.artifactKey(w) + "/" + part.Name()).do(func() (*Pipeline, error) {
 		art, err := e.Artifact(ctx, w)
 		if err != nil {
 			return nil, err
@@ -218,12 +248,25 @@ func (e *Engine) Pipeline(ctx context.Context, w *workloads.Workload, part parti
 // SingleThreadedCycles returns w's memoized single-threaded cycle count on
 // the given machine.
 func (e *Engine) SingleThreadedCycles(ctx context.Context, cfg sim.Config, w *workloads.Workload) (int64, error) {
-	return e.stSlot(stKey{workload: w.Name, cfg: cfg}).do(func() (int64, error) {
+	return e.stSlot(stKey{workload: e.artifactKey(w), cfg: cfg}).do(func() (int64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("exp: single-threaded %s: %w", w.Name, err)
 		}
 		return singleThreadedCycles(cfg, w, e.budget, e.obs)
 	})
+}
+
+// CommCell measures a single (workload, partitioner) matrix cell — the
+// unit of work the serve daemon computes per request. The degradation
+// chain applies exactly as in CommExperiment.
+func (e *Engine) CommCell(ctx context.Context, w *workloads.Workload, part partition.Partitioner) (CommRow, error) {
+	return e.commCell(ctx, cell{part: part, w: w})
+}
+
+// SpeedupCell simulates a single (workload, partitioner) matrix cell on
+// the given machine, with the degradation chain of SpeedupExperiment.
+func (e *Engine) SpeedupCell(ctx context.Context, cfg sim.Config, w *workloads.Workload, part partition.Partitioner) (SpeedupRow, error) {
+	return e.speedupCell(ctx, cfg, cell{part: part, w: w})
 }
 
 // cell identifies one matrix position: the serial iteration order is

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/cli"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// SchemaVersion identifies the response payload schema, which is also the
+// cache payload schema: cached entries are the exact bytes served. It is
+// folded into every cache key (first, see cache.NewHasher), so bumping it
+// makes every old entry an automatic miss instead of a misread. Bump it
+// whenever the meaning or layout of the response changes — adding a
+// field, changing units, changing how a value is computed — never reuse a
+// version for different bytes (see DESIGN.md).
+const SchemaVersion = 1
+
+// Request is one scheduling request: a workload (a named benchmark or an
+// inline IR function), a partitioner, and options. The zero value of every
+// optional field means "server default".
+type Request struct {
+	// Workload names a built-in benchmark (see GET /v1/workloads).
+	// Mutually exclusive with IR.
+	Workload string `json:"workload,omitempty"`
+
+	// IR is an inline function in the framework's canonical IR text (the
+	// format ir.Parse accepts and irdump prints). Name labels it in the
+	// response (default "inline"); Args/Mem are its input; Objects
+	// declares its memory objects for dependence analysis.
+	IR      string      `json:"ir,omitempty"`
+	Name    string      `json:"name,omitempty"`
+	Args    []int64     `json:"args,omitempty"`
+	Mem     []int64     `json:"mem,omitempty"`
+	Objects []MemObject `json:"objects,omitempty"`
+
+	// Partitioner selects the scheduler (default gremio; see GET
+	// /v1/partitioners).
+	Partitioner string `json:"partitioner,omitempty"`
+
+	// Sim additionally runs the cycle-level simulator and reports cycle
+	// counts and speedup.
+	Sim bool `json:"sim,omitempty"`
+
+	// Degrade overrides the server's graceful-degradation default:
+	// requested partitioner → alternate partitioner → single-threaded.
+	Degrade *bool `json:"degrade,omitempty"`
+
+	// Budget bounds this request's interpreter and simulator runs. Zero
+	// fields take the server defaults; all fields are clamped to the
+	// server's caps.
+	Budget Budget `json:"budget,omitempty"`
+}
+
+// MemObject mirrors ir.MemObject for the wire.
+type MemObject struct {
+	Name string `json:"name"`
+	Base int64  `json:"base"`
+	Size int64  `json:"size"`
+}
+
+// Budget mirrors budget.Budget for the wire.
+type Budget struct {
+	ProfileSteps int64 `json:"profile_steps,omitempty"`
+	MeasureSteps int64 `json:"measure_steps,omitempty"`
+	SimCycles    int64 `json:"sim_cycles,omitempty"`
+}
+
+// Response is one scheduling result. Its JSON encoding is the cached
+// payload: the same bytes are served cold, warm from memory, warm from
+// disk, and merged into a concurrent flight.
+type Response struct {
+	Schema      int    `json:"schema"`
+	Workload    string `json:"workload"`
+	Partitioner string `json:"partitioner"`
+	// Fingerprint is the workload's content hash (IR, memory objects,
+	// inputs) — the identity the artifact cache keys on.
+	Fingerprint string  `json:"fingerprint"`
+	Comm        *Comm   `json:"comm"`
+	Cycles      *Cycles `json:"cycles,omitempty"`
+}
+
+// Comm reports the dynamic communication measurement (Figures 1/7).
+type Comm struct {
+	Naive    interp.CommStats `json:"naive"`
+	Coco     interp.CommStats `json:"coco"`
+	NaivePct float64          `json:"naive_comm_pct"`
+	CocoPct  float64          `json:"coco_comm_pct"`
+	// Fallback records what the degradation chain substituted ("" = ran
+	// as requested).
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// Cycles reports the cycle-level simulation (Figure 8).
+type Cycles struct {
+	SingleThreaded int64   `json:"single_threaded"`
+	Naive          int64   `json:"naive"`
+	Coco           int64   `json:"coco"`
+	Speedup        float64 `json:"speedup"`
+	Fallback       string  `json:"fallback,omitempty"`
+}
+
+// errorBody is the JSON body of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// workload resolves the request's workload: a named benchmark (shared
+// artifact caching across requests) or an inline IR function (transient).
+func (r *Request) workload() (w *workloads.Workload, inline bool, err error) {
+	switch {
+	case r.Workload != "" && r.IR != "":
+		return nil, false, fmt.Errorf("workload and ir are mutually exclusive")
+	case r.Workload != "":
+		w, err := cli.ResolveWorkload(r.Workload)
+		return w, false, err
+	case r.IR == "":
+		return nil, false, fmt.Errorf("one of workload or ir is required")
+	}
+	f, err := ir.Parse(r.IR)
+	if err != nil {
+		return nil, false, fmt.Errorf("parsing ir: %v", err)
+	}
+	name := r.Name
+	if name == "" {
+		name = "inline"
+	}
+	objs := make([]ir.MemObject, len(r.Objects))
+	for i, o := range r.Objects {
+		if o.Size <= 0 {
+			return nil, false, fmt.Errorf("object %q: size must be positive", o.Name)
+		}
+		objs[i] = ir.MemObject{Name: o.Name, Base: o.Base, Size: o.Size}
+	}
+	// Runs mutate the memory image, so each call hands out a fresh copy;
+	// the inline input serves as both train and reference set.
+	input := func() workloads.Input {
+		return workloads.Input{
+			Args: append([]int64(nil), r.Args...),
+			Mem:  append([]int64(nil), r.Mem...),
+		}
+	}
+	return &workloads.Workload{
+		Name:     name,
+		Function: name,
+		Suite:    "inline",
+		F:        f,
+		Objects:  objs,
+		Train:    input,
+		Ref:      input,
+	}, true, nil
+}
+
+// toBudget normalizes the wire budget against the server defaults and
+// clamps it to the server caps. The clamped value — not the requested one
+// — is what enters the cache key, so two requests that clamp to the same
+// effective budget share an entry.
+func (b Budget) toBudget(max budget.Budget) budget.Budget {
+	eb := budget.Budget{
+		ProfileSteps: b.ProfileSteps,
+		MeasureSteps: b.MeasureSteps,
+		SimCycles:    b.SimCycles,
+	}.OrElse(budget.Experiments())
+	if max.ProfileSteps > 0 && eb.ProfileSteps > max.ProfileSteps {
+		eb.ProfileSteps = max.ProfileSteps
+	}
+	if max.MeasureSteps > 0 && eb.MeasureSteps > max.MeasureSteps {
+		eb.MeasureSteps = max.MeasureSteps
+	}
+	if max.SimCycles > 0 && eb.SimCycles > max.SimCycles {
+		eb.SimCycles = max.SimCycles
+	}
+	return eb
+}
+
+// requestKey is the cache key: a fingerprint over everything that
+// determines the response bytes. The schema version is folded in first;
+// the workload fingerprint already covers IR content, memory objects, and
+// inputs.
+func requestKey(w *workloads.Workload, partitioner string, sim bool, b budget.Budget, degrade bool) string {
+	h := cache.NewHasher(SchemaVersion)
+	h.Field("workload", w.Fingerprint())
+	h.Field("partitioner", partitioner)
+	h.Bool("sim", sim)
+	h.Int("budget.profile", b.ProfileSteps)
+	h.Int("budget.measure", b.MeasureSteps)
+	h.Int("budget.sim", b.SimCycles)
+	h.Bool("degrade", degrade)
+	return h.Sum()
+}

@@ -1,0 +1,458 @@
+// Package serve is the scheduling-as-a-service layer behind cmd/gmtserve:
+// an HTTP/JSON daemon that accepts compile/schedule requests for IR
+// functions, fans batches out over the internal/par worker pool, and
+// backs every response with the persistent content-addressed artifact
+// cache in internal/cache.
+//
+// The serving contract is byte determinism: a response is computed once,
+// serialized once, and the exact bytes are cached — so a request served
+// cold, warm from the memory layer, warm from disk after a restart, or
+// merged into a concurrent identical request's flight (singleflight)
+// returns identical bytes. The X-Gmtserve-Source header says which path
+// served it without perturbing the body.
+//
+// Identical in-flight requests are deduplicated (cache.Group), admission
+// is bounded (queue-full requests get 503 rather than unbounded pileup),
+// per-request budgets are clamped to server caps, and failed cells walk
+// the same graceful-degradation chain as the experiment engine. Cache
+// hits, misses, evictions, singleflight merges, queue depth, and
+// in-flight counts are all surfaced through internal/obs (GET /v1/stats
+// and /v1/metrics).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/cli"
+	"repro/internal/exp"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// maxBody bounds request bodies; inline IR plus a memory image fits
+// comfortably, unbounded bodies do not.
+const maxBody = 8 << 20
+
+// errQueueFull is returned by the admission queue; it maps to 503.
+var errQueueFull = errors.New("server busy: admission queue is full, retry later")
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir roots the persistent artifact cache; "" keeps the cache
+	// memory-only (no restart warmth).
+	CacheDir string
+	// MemEntries / DiskEntries bound the two cache layers (see
+	// cache.Options).
+	MemEntries  int
+	DiskEntries int
+	// Jobs sizes the worker pool batch requests fan out over; <= 0 means
+	// GOMAXPROCS.
+	Jobs int
+	// Queue bounds concurrent computations (executing + waiting); further
+	// cache-missing requests are rejected with 503. <= 0 means 64. Cache
+	// hits and singleflight merges never occupy a slot.
+	Queue int
+	// MaxBudget caps per-request budgets field-by-field; zero fields are
+	// uncapped.
+	MaxBudget budget.Budget
+	// Degrade is the graceful-degradation default for requests that do
+	// not set their own.
+	Degrade bool
+	// Metrics receives all serve and cache instrumentation; a private
+	// registry is created when nil.
+	Metrics *obs.Registry
+}
+
+// engineKey identifies a shared engine: every option that changes what an
+// engine would compute. Workload identity is handled inside the engine by
+// content fingerprint.
+type engineKey struct {
+	budget  budget.Budget
+	degrade bool
+}
+
+// Server implements the scheduling service. Create with New, mount
+// Handler on an http.Server.
+type Server struct {
+	jobs       int
+	maxBudget  budget.Budget
+	defDegrade bool
+
+	cache *cache.Cache
+	sf    cache.Group
+	queue chan struct{}
+
+	reg   *obs.Registry
+	scope *obs.Scope
+
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	engines map[engineKey]*exp.Engine
+}
+
+// New builds a server and opens (creating if needed) its cache directory.
+func New(o Options) (*Server, error) {
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 64
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c, err := cache.New(cache.Options{
+		Dir:         o.CacheDir,
+		MemEntries:  o.MemEntries,
+		DiskEntries: o.DiskEntries,
+		Metrics:     reg.Scope("serve.cache"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		jobs:       o.Jobs,
+		maxBudget:  o.MaxBudget,
+		defDegrade: o.Degrade,
+		cache:      c,
+		queue:      make(chan struct{}, o.Queue),
+		reg:        reg,
+		scope:      reg.Scope("serve"),
+		engines:    map[engineKey]*exp.Engine{},
+	}, nil
+}
+
+// Metrics returns the server's registry (for -metrics artifacts and
+// tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Result is one served response: a status, the path that served it, and
+// the exact body bytes.
+type Result struct {
+	Status int
+	// Source is which path produced the bytes: "cold" (computed by this
+	// request), "mem"/"disk" (cache layers), "merged" (joined another
+	// request's flight), or "error".
+	Source string
+	Body   []byte
+}
+
+func errResult(status int, err error) Result {
+	body, _ := json.Marshal(errorBody{Error: err.Error()})
+	return Result{Status: status, Source: "error", Body: body}
+}
+
+// Do serves one request through the full path: validate, key, cache,
+// singleflight, bounded compute. It never panics the caller; every
+// failure is a Result with a JSON error body.
+func (s *Server) Do(ctx context.Context, req *Request) Result {
+	s.scope.Counter("requests").Inc()
+	s.scope.Gauge("inflight").SetMax(s.inflight.Add(1))
+	defer s.inflight.Add(-1)
+
+	w, inline, err := req.workload()
+	if err != nil {
+		return errResult(http.StatusBadRequest, err)
+	}
+	partName := req.Partitioner
+	if partName == "" {
+		partName = "gremio"
+	}
+	p, err := cli.ResolvePartitioner(partName)
+	if err != nil {
+		return errResult(http.StatusBadRequest, err)
+	}
+	b := req.Budget.toBudget(s.maxBudget)
+	degrade := s.defDegrade
+	if req.Degrade != nil {
+		degrade = *req.Degrade
+	}
+	key := requestKey(w, p.Name(), req.Sim, b, degrade)
+
+	if body, ok := s.cache.Get(key); ok {
+		// Which layer served it shows up in the hit.mem/hit.disk
+		// counters; the header only distinguishes warm from cold/merged.
+		return Result{Status: http.StatusOK, Source: "warm", Body: body}
+	}
+
+	body, err, merged := s.sf.Do(key, func() ([]byte, error) {
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			s.scope.Counter("queue.rejected").Inc()
+			return nil, errQueueFull
+		}
+		s.scope.Gauge("queue.depth").SetMax(int64(len(s.queue)))
+		defer func() { <-s.queue }()
+		// A flight that completed between our cache probe and joining the
+		// group has already put its bytes; serve those rather than
+		// recomputing.
+		if body, ok := s.cache.Get(key); ok {
+			return body, nil
+		}
+		return s.compute(ctx, w, inline, p, req.Sim, b, degrade, key)
+	})
+	switch {
+	case err == nil && merged:
+		s.scope.Counter("singleflight.merged").Inc()
+		return Result{Status: http.StatusOK, Source: "merged", Body: body}
+	case err == nil:
+		return Result{Status: http.StatusOK, Source: "cold", Body: body}
+	case errors.Is(err, errQueueFull):
+		return errResult(http.StatusServiceUnavailable, err)
+	case ctx.Err() != nil:
+		return errResult(http.StatusServiceUnavailable, err)
+	default:
+		s.scope.Counter("errors").Inc()
+		return errResult(http.StatusInternalServerError, err)
+	}
+}
+
+// compute runs the scheduling pipeline once and caches the exact response
+// bytes. The serve.compute counter is the "did the pipeline actually
+// run?" signal tests and the smoke job assert on.
+func (s *Server) compute(ctx context.Context, w *workloads.Workload, inline bool,
+	p partition.Partitioner, runSim bool, b budget.Budget, degrade bool, key string) ([]byte, error) {
+	s.scope.Counter("compute").Inc()
+	eng := s.engine(inline, b, degrade)
+
+	resp := Response{
+		Schema:      SchemaVersion,
+		Workload:    w.Name,
+		Partitioner: p.Name(),
+		Fingerprint: w.Fingerprint(),
+	}
+	comm, err := eng.CommCell(ctx, w, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, p.Name(), err)
+	}
+	resp.Comm = &Comm{
+		Naive:    comm.Naive,
+		Coco:     comm.Coco,
+		NaivePct: commPct(comm.Naive),
+		CocoPct:  commPct(comm.Coco),
+		Fallback: comm.Fallback,
+	}
+	if runSim {
+		row, err := eng.SpeedupCell(ctx, sim.DefaultConfig(), w, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, p.Name(), err)
+		}
+		cy := &Cycles{
+			SingleThreaded: row.STCycles,
+			Naive:          row.NaiveCycles,
+			Coco:           row.CocoCycles,
+			Fallback:       row.Fallback,
+		}
+		if row.CocoCycles > 0 {
+			cy.Speedup = float64(row.STCycles) / float64(row.CocoCycles)
+		}
+		resp.Cycles = cy
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cache.Put(key, body); err != nil {
+		// A failed disk write must not fail the request: the bytes are
+		// computed and the memory layer has them.
+		s.scope.Counter("cache.put_errors").Inc()
+	}
+	return body, nil
+}
+
+func commPct(c interp.CommStats) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(c.Comm()) / float64(t)
+}
+
+// engine returns the shared engine for (budget, degrade) — named
+// workloads reuse memoized artifacts across requests — or a transient one
+// for inline IR, whose artifacts would otherwise accumulate without
+// bound.
+func (s *Server) engine(inline bool, b budget.Budget, degrade bool) *exp.Engine {
+	opts := exp.EngineOptions{Jobs: 1, Budget: b, Degrade: degrade}
+	if inline {
+		return exp.NewEngine(opts)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := engineKey{budget: b, degrade: degrade}
+	e := s.engines[k]
+	if e == nil {
+		e = exp.NewEngine(opts)
+		s.engines[k] = e
+	}
+	return e
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/schedule     one request  -> one response
+//	POST /v1/batch        {"requests":[...]} -> {"responses":[...]} in order
+//	GET  /v1/workloads    built-in workload names
+//	GET  /v1/partitioners partitioner names
+//	GET  /v1/stats        serving counters (cache, singleflight, queue)
+//	GET  /v1/metrics      the full metrics registry
+//	GET  /v1/healthz      liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"workloads": cli.WorkloadNames()})
+	})
+	mux.HandleFunc("GET /v1/partitioners", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"partitioners": cli.PartitionerNames()})
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res := s.Do(r.Context(), &req)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Gmtserve-Source", res.Source)
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchItem is one in-order element of a batch response. Body carries the
+// exact bytes the request would have received from /v1/schedule.
+type BatchItem struct {
+	Status int             `json:"status"`
+	Source string          `json:"source"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the body of POST /v1/batch.
+type BatchResponse struct {
+	Responses []BatchItem `json:"responses"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if !readJSON(w, r, &batch) {
+		return
+	}
+	s.scope.Counter("batches").Inc()
+	items := make([]BatchItem, len(batch.Requests))
+	// Responses land in preallocated index-addressed slots, so the order
+	// is the request order at any Jobs setting. Per-item failures are
+	// item statuses, not batch failures; par.Run only propagates context
+	// cancellation from Do (which never returns an error).
+	par.Run(r.Context(), s.jobs, len(batch.Requests), func(i int) error {
+		res := s.Do(r.Context(), &batch.Requests[i])
+		items[i] = BatchItem{Status: res.Status, Source: res.Source, Body: res.Body}
+		return nil
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: items})
+}
+
+// Stats is the body of GET /v1/stats: the counters the smoke job and
+// operators check.
+type Stats struct {
+	Schema             int   `json:"schema"`
+	Requests           int64 `json:"requests"`
+	Compute            int64 `json:"compute"`
+	Errors             int64 `json:"errors"`
+	CacheHitMem        int64 `json:"cache_hit_mem"`
+	CacheHitDisk       int64 `json:"cache_hit_disk"`
+	CacheMiss          int64 `json:"cache_miss"`
+	CacheCorrupt       int64 `json:"cache_corrupt"`
+	CacheEvictMem      int64 `json:"cache_evict_mem"`
+	CacheEvictDisk     int64 `json:"cache_evict_disk"`
+	SingleflightMerged int64 `json:"singleflight_merged"`
+	QueueRejected      int64 `json:"queue_rejected"`
+	QueueCapacity      int   `json:"queue_capacity"`
+	QueueDepth         int   `json:"queue_depth"`
+	Inflight           int64 `json:"inflight"`
+}
+
+// StatsSnapshot reads the current counters (also used by tests).
+func (s *Server) StatsSnapshot() Stats {
+	cs := s.reg.Scope("serve.cache")
+	return Stats{
+		Schema:             SchemaVersion,
+		Requests:           s.scope.Counter("requests").Value(),
+		Compute:            s.scope.Counter("compute").Value(),
+		Errors:             s.scope.Counter("errors").Value(),
+		CacheHitMem:        cs.Counter("hit.mem").Value(),
+		CacheHitDisk:       cs.Counter("hit.disk").Value(),
+		CacheMiss:          cs.Counter("miss").Value(),
+		CacheCorrupt:       cs.Counter("corrupt").Value(),
+		CacheEvictMem:      cs.Counter("evict.mem").Value(),
+		CacheEvictDisk:     cs.Counter("evict.disk").Value(),
+		SingleflightMerged: s.scope.Counter("singleflight.merged").Value(),
+		QueueRejected:      s.scope.Counter("queue.rejected").Value(),
+		QueueCapacity:      cap(s.queue),
+		QueueDepth:         len(s.queue),
+		Inflight:           s.inflight.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// readJSON decodes a bounded request body, replying 400 on bad JSON.
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, into)
+	}
+	if err != nil {
+		res := errResult(http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/workloads"
+)
+
+func newServer(t *testing.T, o Options) *Server {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func ksReq() *Request {
+	return &Request{Workload: "ks", Partitioner: "gremio", Sim: true}
+}
+
+func mustOK(t *testing.T, res Result) Response {
+	t.Helper()
+	if res.Status != http.StatusOK {
+		t.Fatalf("status %d: %s", res.Status, res.Body)
+	}
+	var resp Response
+	if err := json.Unmarshal(res.Body, &resp); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, res.Body)
+	}
+	return resp
+}
+
+// TestColdWarmRestartBytesIdentical is the serving contract: cold
+// compute, warm memory hit, and warm disk hit after a restart all return
+// the exact same bytes — and the warm paths never re-run the pipeline.
+func TestColdWarmRestartBytesIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1 := newServer(t, Options{CacheDir: dir, Degrade: true})
+
+	cold := s1.Do(ctx, ksReq())
+	resp := mustOK(t, cold)
+	if cold.Source != "cold" {
+		t.Fatalf("first request source = %q, want cold", cold.Source)
+	}
+	if resp.Schema != SchemaVersion || resp.Workload != "ks" || resp.Comm == nil || resp.Cycles == nil {
+		t.Fatalf("incomplete response: %+v", resp)
+	}
+	if resp.Cycles.Speedup <= 0 {
+		t.Fatalf("speedup = %v", resp.Cycles.Speedup)
+	}
+	if st := s1.StatsSnapshot(); st.Compute != 1 {
+		t.Fatalf("cold compute count = %d, want 1", st.Compute)
+	}
+
+	warm := s1.Do(ctx, ksReq())
+	mustOK(t, warm)
+	if warm.Source != "warm" {
+		t.Fatalf("second request source = %q, want warm", warm.Source)
+	}
+	if !bytes.Equal(cold.Body, warm.Body) {
+		t.Fatalf("warm bytes differ from cold:\n%s\n%s", cold.Body, warm.Body)
+	}
+	st := s1.StatsSnapshot()
+	if st.Compute != 1 {
+		t.Fatalf("warm request re-ran the pipeline: compute = %d", st.Compute)
+	}
+	if st.CacheHitMem == 0 {
+		t.Fatalf("warm request did not hit the memory layer: %+v", st)
+	}
+
+	// Restart: a fresh server over the same cache dir must serve the
+	// same bytes from disk without computing anything.
+	s2 := newServer(t, Options{CacheDir: dir, Degrade: true})
+	restart := s2.Do(ctx, ksReq())
+	mustOK(t, restart)
+	if restart.Source != "warm" {
+		t.Fatalf("post-restart source = %q, want warm", restart.Source)
+	}
+	if !bytes.Equal(cold.Body, restart.Body) {
+		t.Fatalf("post-restart bytes differ from cold")
+	}
+	st2 := s2.StatsSnapshot()
+	if st2.Compute != 0 {
+		t.Fatalf("post-restart request re-ran the pipeline: compute = %d", st2.Compute)
+	}
+	if st2.CacheHitDisk != 1 {
+		t.Fatalf("post-restart hit.disk = %d, want 1", st2.CacheHitDisk)
+	}
+}
+
+// TestConcurrentMixedRequests is the -race stress: 64 concurrent requests
+// over a handful of distinct configurations must each compute exactly
+// once, and every response for a given configuration must be
+// byte-identical regardless of which path (cold, merged, warm) served it.
+func TestConcurrentMixedRequests(t *testing.T) {
+	s := newServer(t, Options{Degrade: true})
+	ctx := context.Background()
+
+	mk := func(workload, part string) *Request {
+		return &Request{Workload: workload, Partitioner: part}
+	}
+	configs := []*Request{
+		mk("ks", "gremio"),
+		mk("ks", "dswp"),
+		mk("adpcmdec", "gremio"),
+		mk("adpcmdec", "dswp"),
+	}
+	const perConfig = 16 // 64 requests total
+
+	results := make([][]Result, len(configs))
+	for i := range results {
+		results[i] = make([]Result, perConfig)
+	}
+	var wg sync.WaitGroup
+	for ci := range configs {
+		for j := 0; j < perConfig; j++ {
+			wg.Add(1)
+			go func(ci, j int) {
+				defer wg.Done()
+				results[ci][j] = s.Do(ctx, configs[ci])
+			}(ci, j)
+		}
+	}
+	wg.Wait()
+
+	for ci := range configs {
+		first := results[ci][0]
+		mustOK(t, first)
+		for j, r := range results[ci] {
+			if r.Status != http.StatusOK {
+				t.Fatalf("config %d request %d: status %d: %s", ci, j, r.Status, r.Body)
+			}
+			if !bytes.Equal(first.Body, r.Body) {
+				t.Fatalf("config %d request %d: bytes differ across paths", ci, j)
+			}
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.Compute != int64(len(configs)) {
+		t.Fatalf("compute = %d, want exactly %d (one per distinct configuration)", st.Compute, len(configs))
+	}
+	if st.Requests != int64(len(configs)*perConfig) {
+		t.Fatalf("requests = %d, want %d", st.Requests, len(configs)*perConfig)
+	}
+}
+
+// TestUnknownNamesListValid mirrors the CLI contract over HTTP: unknown
+// workload/partitioner names are 400s whose message lists the valid
+// names.
+func TestUnknownNamesListValid(t *testing.T) {
+	s := newServer(t, Options{})
+	ctx := context.Background()
+
+	res := s.Do(ctx, &Request{Workload: "bogus"})
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("unknown workload status = %d, want 400", res.Status)
+	}
+	if !strings.Contains(string(res.Body), "ks") || !strings.Contains(string(res.Body), "181.mcf") {
+		t.Fatalf("unknown-workload error does not list valid names: %s", res.Body)
+	}
+
+	res = s.Do(ctx, &Request{Workload: "ks", Partitioner: "stripe"})
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("unknown partitioner status = %d, want 400", res.Status)
+	}
+	if !strings.Contains(string(res.Body), "gremio") || !strings.Contains(string(res.Body), "dswp") {
+		t.Fatalf("unknown-partitioner error does not list valid names: %s", res.Body)
+	}
+
+	res = s.Do(ctx, &Request{})
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("empty request status = %d, want 400", res.Status)
+	}
+}
+
+// TestQueueFull is the bounded-admission contract: with the only slot
+// occupied, a cache-missing request is rejected with 503 and counted,
+// never queued unboundedly.
+func TestQueueFull(t *testing.T) {
+	s := newServer(t, Options{Queue: 1})
+	s.queue <- struct{}{} // occupy the only compute slot
+	res := s.Do(context.Background(), &Request{Workload: "ks"})
+	if res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", res.Status, res.Body)
+	}
+	if st := s.StatsSnapshot(); st.QueueRejected != 1 || st.Compute != 0 {
+		t.Fatalf("rejected = %d compute = %d, want 1 / 0", st.QueueRejected, st.Compute)
+	}
+	<-s.queue
+	// With the slot free the same request computes normally.
+	res = s.Do(context.Background(), &Request{Workload: "ks"})
+	mustOK(t, res)
+}
+
+// TestInlineIR schedules an inline IR function (the ks kernel round-
+// tripped through its canonical text) and checks the response is
+// deterministic across servers.
+func TestInlineIR(t *testing.T) {
+	ks := workloads.KS()
+	in := ks.Train()
+	req := &Request{
+		IR:          ks.F.String(),
+		Name:        "inline-ks",
+		Args:        in.Args,
+		Mem:         in.Mem,
+		Partitioner: "gremio",
+	}
+	for _, o := range ks.Objects {
+		req.Objects = append(req.Objects, MemObject{Name: o.Name, Base: o.Base, Size: o.Size})
+	}
+	ctx := context.Background()
+
+	s1 := newServer(t, Options{Degrade: true})
+	r1 := s1.Do(ctx, req)
+	resp := mustOK(t, r1)
+	if resp.Workload != "inline-ks" || resp.Comm == nil {
+		t.Fatalf("inline response: %+v", resp)
+	}
+	s2 := newServer(t, Options{Degrade: true})
+	r2 := s2.Do(ctx, req)
+	mustOK(t, r2)
+	if !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("inline IR responses differ across servers:\n%s\n%s", r1.Body, r2.Body)
+	}
+
+	if res := s1.Do(ctx, &Request{IR: "not ir at all {{{"}); res.Status != http.StatusBadRequest {
+		t.Fatalf("bad IR status = %d, want 400: %s", res.Status, res.Body)
+	}
+	if res := s1.Do(ctx, &Request{Workload: "ks", IR: "x"}); res.Status != http.StatusBadRequest {
+		t.Fatalf("workload+ir status = %d, want 400", res.Status)
+	}
+}
+
+// TestBudgetClampSharesKey: requested budgets past the server cap clamp
+// to the cap before keying, so an over-ask and an exact-ask share one
+// cache entry and one computation.
+func TestBudgetClampSharesKey(t *testing.T) {
+	max := budget.Budget{ProfileSteps: 50_000_000, MeasureSteps: 50_000_000, SimCycles: 100_000_000}
+	s := newServer(t, Options{MaxBudget: max, Degrade: true})
+	ctx := context.Background()
+
+	over := &Request{Workload: "ks", Budget: Budget{MeasureSteps: 999_999_999_999}}
+	exact := &Request{Workload: "ks", Budget: Budget{
+		ProfileSteps: max.ProfileSteps, MeasureSteps: max.MeasureSteps, SimCycles: max.SimCycles,
+	}}
+	r1 := s.Do(ctx, over)
+	mustOK(t, r1)
+	r2 := s.Do(ctx, exact)
+	mustOK(t, r2)
+	if !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("clamped requests produced different bytes")
+	}
+	if st := s.StatsSnapshot(); st.Compute != 1 {
+		t.Fatalf("compute = %d, want 1 (clamped budgets share a key)", st.Compute)
+	}
+}
+
+// TestHTTPEndpoints drives the real handler: schedule with source
+// headers, batch ordering with per-item statuses, stats, names, health,
+// and bad-JSON handling.
+func TestHTTPEndpoints(t *testing.T) {
+	s := newServer(t, Options{Degrade: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		res, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(res.Body)
+		return res, buf.Bytes()
+	}
+	get := func(path string) []byte {
+		t.Helper()
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, res.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(res.Body)
+		return buf.Bytes()
+	}
+
+	res, cold := post("/v1/schedule", `{"workload":"adpcmdec","partitioner":"dswp"}`)
+	if res.StatusCode != http.StatusOK || res.Header.Get("X-Gmtserve-Source") != "cold" {
+		t.Fatalf("schedule: %d source=%q: %s", res.StatusCode, res.Header.Get("X-Gmtserve-Source"), cold)
+	}
+	res, warm := post("/v1/schedule", `{"workload":"adpcmdec","partitioner":"dswp"}`)
+	if res.Header.Get("X-Gmtserve-Source") != "warm" || !bytes.Equal(cold, warm) {
+		t.Fatalf("schedule warm: source=%q, equal=%v", res.Header.Get("X-Gmtserve-Source"), bytes.Equal(cold, warm))
+	}
+
+	res, body := post("/v1/batch", `{"requests":[
+		{"workload":"adpcmdec","partitioner":"dswp"},
+		{"workload":"nope"},
+		{"workload":"adpcmdec","partitioner":"dswp"}
+	]}`)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", res.StatusCode, body)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Responses) != 3 {
+		t.Fatalf("batch responses = %d, want 3", len(batch.Responses))
+	}
+	if batch.Responses[0].Status != 200 || batch.Responses[1].Status != 400 || batch.Responses[2].Status != 200 {
+		t.Fatalf("batch statuses = %+v", batch.Responses)
+	}
+	if !bytes.Equal(batch.Responses[0].Body, batch.Responses[2].Body) {
+		t.Fatal("identical batch items returned different bytes")
+	}
+	if !bytes.Equal(batch.Responses[0].Body, cold) {
+		t.Fatal("batch bytes differ from schedule bytes for the same request")
+	}
+
+	var stats Stats
+	if err := json.Unmarshal(get("/v1/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compute != 1 {
+		t.Fatalf("stats compute = %d, want 1", stats.Compute)
+	}
+	var names map[string][]string
+	if err := json.Unmarshal(get("/v1/workloads"), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names["workloads"]) == 0 {
+		t.Fatal("no workloads listed")
+	}
+	if err := json.Unmarshal(get("/v1/partitioners"), &names); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names["partitioners"]) != "[gremio dswp]" {
+		t.Fatalf("partitioners = %v", names["partitioners"])
+	}
+	if !json.Valid(get("/v1/metrics")) {
+		t.Fatal("metrics endpoint is not valid JSON")
+	}
+	get("/v1/healthz")
+
+	res, body = post("/v1/schedule", `{"workload":`)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d: %s", res.StatusCode, body)
+	}
+}
+
+// TestCorruptDiskEntryRecomputes: a truncated cache file must be treated
+// as a miss — the server recomputes and rewrites it, and the corrupt
+// bytes are never served.
+func TestCorruptDiskEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := &Request{Workload: "adpcmdec"}
+
+	s1 := newServer(t, Options{CacheDir: dir, Degrade: true})
+	good := s1.Do(ctx, req)
+	mustOK(t, good)
+
+	truncateCacheEntries(t, dir)
+
+	s2 := newServer(t, Options{CacheDir: dir, Degrade: true})
+	res := s2.Do(ctx, req)
+	mustOK(t, res)
+	if res.Source != "cold" {
+		t.Fatalf("corrupt entry was served: source = %q", res.Source)
+	}
+	if !bytes.Equal(good.Body, res.Body) {
+		t.Fatal("recomputed bytes differ")
+	}
+	st := s2.StatsSnapshot()
+	if st.CacheCorrupt == 0 || st.Compute != 1 {
+		t.Fatalf("corrupt = %d compute = %d, want >0 / 1", st.CacheCorrupt, st.Compute)
+	}
+}
+
+// truncateCacheEntries chops every on-disk cache entry under dir in half,
+// simulating a crash mid-write that somehow survived the atomic rename
+// (or simple disk damage).
+func truncateCacheEntries(t *testing.T, dir string) {
+	t.Helper()
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, shard.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			p := filepath.Join(dir, shard.Name(), f.Name())
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no cache entries found to corrupt")
+	}
+}

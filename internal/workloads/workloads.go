@@ -12,7 +12,9 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/ir"
 )
 
@@ -43,6 +45,37 @@ type Workload struct {
 	// runs, so each call returns a new copy).
 	Train func() Input
 	Ref   func() Input
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns a content hash over everything that determines the
+// workload's analysis artifacts and measurements: the IR (canonical
+// text), the memory objects, and both input sets. Two workloads that
+// merely share a Name have different fingerprints when any of those
+// differ — which is what lets caches key on content instead of on names.
+// The fingerprint is computed once per Workload value; the IR and inputs
+// are treated as immutable after first use, like the rest of the
+// framework does.
+func (w *Workload) Fingerprint() string {
+	w.fpOnce.Do(func() {
+		h := cache.NewHasher(1)
+		h.Field("name", w.Name)
+		h.Field("ir", w.F.String())
+		for _, o := range w.Objects {
+			h.Field("object", o.Name)
+			h.Int("base", o.Base)
+			h.Int("size", o.Size)
+		}
+		train, ref := w.Train(), w.Ref()
+		h.Int64s("train.args", train.Args)
+		h.Int64s("train.mem", train.Mem)
+		h.Int64s("ref.args", ref.Args)
+		h.Int64s("ref.mem", ref.Mem)
+		w.fp = h.Sum()
+	})
+	return w.fp
 }
 
 // All returns every workload, in the order of Figure 6(b).
