@@ -12,6 +12,8 @@
 //	gmtcheck -workload ks             check one benchmark workload
 //	gmtcheck -workload all            check every benchmark workload
 //	gmtcheck -chaos drop-produce      verify the oracle detects injected faults
+//	gmtcheck -replay repro.ir         re-run a reproducer file (exit 1 if it
+//	                                  still fails); gmtstress emits these
 //
 // On failure it prints a reproducer in the corpus format (see
 // internal/oracle/testdata/corpus) and exits nonzero; with -shrink the
@@ -44,6 +46,7 @@ func run() error {
 	schedule := flag.String("schedule", "", "restrict to one scheduling policy (round-robin, random, adversarial); empty means the full matrix")
 	shrink := flag.Bool("shrink", false, "minimize the first failing program before printing it")
 	workload := flag.String("workload", "", "check a benchmark workload instead of random programs (a name, or 'all')")
+	replay := flag.String("replay", "", "re-run a reproducer file (oracle corpus format); its replay directive pins the matrix cell")
 	nosim := flag.Bool("nosim", false, "skip the cycle-level simulator cross-check")
 	chaos := flag.String("chaos", "", "inject this fault class into every run and check the oracle detects it")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed (same seed = same schedule)")
@@ -60,15 +63,15 @@ func run() error {
 		if err != nil {
 			return cli.Usagef("%v", err)
 		}
-		if cls == fault.MisplacePlan {
-			return cli.Usagef("misplan is a compile-time fault; use experiments -chaos matrix to exercise it")
-		}
 		chaosClass = cls
 		opts.Inject = &fault.Spec{Class: cls, Seed: *chaosSeed}
 		// Injected deadlocks should fail fast, not burn the sim budget.
 		opts.SimStallLimit = 50_000
 	}
 
+	if *replay != "" {
+		return replayRepro(*replay, opts, *shrink)
+	}
 	if *workload != "" {
 		return checkWorkloads(*workload, *seed)
 	}
@@ -128,6 +131,50 @@ func run() error {
 		return cli.Exit(1)
 	}
 	return nil
+}
+
+// replayRepro re-runs one reproducer file. The file's replay directive
+// (written by gmtstress and by -shrink) pins the exact matrix cell the
+// failure was found in; a file without one runs the full matrix under the
+// flag-derived options. Exit status 1 means the failure reproduced.
+func replayRepro(path string, opts oracle.Options, shrink bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	c, err := oracle.ParseCase(string(data))
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if c.Replay != nil {
+		opts.Seed = c.Seed
+		if opts, err = c.Replay.Apply(opts); err != nil {
+			return cli.Usagef("%v", err)
+		}
+		fmt.Printf("replaying %s (cell: %s)\n", c.Name, c.Replay)
+	} else {
+		fmt.Printf("replaying %s (full matrix)\n", c.Name)
+	}
+	rep, err := oracle.Check(c, opts)
+	if err != nil {
+		return err
+	}
+	if rep.Ok() {
+		fmt.Printf("did not reproduce: %d runs clean (%d faults injected)\n", rep.Runs, rep.Injected)
+		return nil
+	}
+	fmt.Printf("reproduced: %v\n", rep.Err())
+	if shrink {
+		kind := rep.Failures[0].Kind
+		fmt.Printf("shrinking against %q...\n", kind)
+		min, err := oracle.Shrink(c, oracle.StillFails(opts, kind), 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmtcheck: shrink stopped early: %v\n", err)
+		}
+		min.Name = c.Name + " (shrunk)"
+		fmt.Printf("reproducer:\n%s", oracle.FormatCase(min))
+	}
+	return cli.Exit(1)
 }
 
 // chaosOK applies the per-class detector contract to one chaos-armed

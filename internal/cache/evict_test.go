@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// entryPaths collects every on-disk entry path, sorted.
+func entryPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	var paths []string
+	if err := walkEntries(dir, func(p string, _ os.FileInfo) {
+		paths = append(paths, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// stampAll gives every current entry the same modification time, creating
+// the mtime tie the eviction order must break deterministically.
+func stampAll(t *testing.T, dir string, mt time.Time) {
+	t.Helper()
+	for _, p := range entryPaths(t, dir) {
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDiskEvictionSharedMtimeTieBreak: when candidates share a
+// modification time (coarse filesystem clocks make this common), the
+// victim is chosen by path — deterministically — and exactly one entry
+// goes per over-bound insert.
+func TestDiskEvictionSharedMtimeTieBreak(t *testing.T) {
+	victim := func(order []string) string {
+		dir := t.TempDir()
+		reg := obs.NewRegistry()
+		c := mustNew(t, Options{Dir: dir, DiskEntries: 3, MemEntries: 1, Metrics: reg.Scope("cache")})
+		for _, k := range order {
+			if err := c.Put(k, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		old := entryPaths(t, dir)
+		stampAll(t, dir, time.Now().Add(-time.Hour))
+		if err := c.Put("k3", []byte("k3")); err != nil {
+			t.Fatal(err)
+		}
+		if v := reg.Counter("cache.evict.disk").Value(); v != 1 {
+			t.Fatalf("evict.disk = %d, want 1", v)
+		}
+		if n, _ := countEntries(dir); n != 3 {
+			t.Fatalf("disk entries = %d, want 3", n)
+		}
+		if c.disk != 3 {
+			t.Fatalf("tracked disk count = %d, want 3", c.disk)
+		}
+		// The victim must be the lexicographically smallest of the tied
+		// entries (the fresh k3 entry is newer and never a candidate).
+		gone := ""
+		for _, p := range old {
+			if _, err := os.Stat(p); os.IsNotExist(err) {
+				if gone != "" {
+					t.Fatalf("two entries evicted: %s and %s", gone, p)
+				}
+				gone = p
+			}
+		}
+		if gone != old[0] {
+			t.Fatalf("evicted %q, want the smallest tied path %q", gone, old[0])
+		}
+		rel, err := filepath.Rel(dir, gone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+
+	// Insertion order must not matter: same keys, same tie, same victim.
+	a := victim([]string{"k0", "k1", "k2"})
+	b := victim([]string{"k2", "k0", "k1"})
+	if a != b {
+		t.Fatalf("tie-break depends on insertion order: %q vs %q", a, b)
+	}
+}
+
+// TestDiskEvictOverRequestNoDoubleDelete: asking for more evictions than
+// entries removes each entry exactly once and never drives the tracked
+// count negative — a double-delete would make the counter drift and later
+// bounds checks wrong.
+func TestDiskEvictOverRequestNoDoubleDelete(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	c := mustNew(t, Options{Dir: dir, DiskEntries: 2, MemEntries: 1, Metrics: reg.Scope("cache")})
+	for i := 0; i < 2; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stampAll(t, dir, time.Now().Add(-time.Hour))
+
+	c.evictDisk(5)
+	if v := reg.Counter("cache.evict.disk").Value(); v != 2 {
+		t.Fatalf("evict.disk = %d, want 2 (one per existing entry)", v)
+	}
+	if n, _ := countEntries(dir); n != 0 {
+		t.Fatalf("disk entries = %d, want 0", n)
+	}
+	if c.disk != 0 {
+		t.Fatalf("tracked disk count = %d, want 0", c.disk)
+	}
+
+	// A second sweep over the empty store must be a no-op, not a drift.
+	c.evictDisk(3)
+	if v := reg.Counter("cache.evict.disk").Value(); v != 2 {
+		t.Fatalf("evict.disk after empty sweep = %d, want 2", v)
+	}
+	if c.disk != 0 {
+		t.Fatalf("tracked disk count after empty sweep = %d, want 0", c.disk)
+	}
+}
+
+// TestSingleflightJoinCountingUnderCancellation: a join is counted when
+// the caller blocks on the flight, not when the flight succeeds — so a
+// flight that ends in cancellation still shows the join, the joiner gets
+// the leader's error, and the completed flight is forgotten either way.
+func TestSingleflightJoinCountingUnderCancellation(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do("key", func() ([]byte, error) {
+			close(started)
+			<-release
+			return nil, context.Canceled
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	joinerDone := make(chan struct{})
+	var jerr error
+	var jmerged bool
+	go func() {
+		_, jerr, jmerged = g.Do("key", func() ([]byte, error) {
+			t.Error("joiner ran the flight function")
+			return nil, nil
+		})
+		close(joinerDone)
+	}()
+
+	// Join-time counting: the merge is visible while the flight is still
+	// open (and about to be cancelled).
+	for g.Merged() != 1 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-joinerDone
+
+	if err := <-leaderDone; err != context.Canceled {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	if !jmerged {
+		t.Fatal("joiner was not marked merged")
+	}
+	if jerr != context.Canceled {
+		t.Fatalf("joiner error = %v, want the leader's context.Canceled", jerr)
+	}
+	if g.Merged() != 1 {
+		t.Fatalf("Merged = %d, want 1 (completion must not re-count)", g.Merged())
+	}
+	// The cancelled flight is forgotten: a fresh call runs fresh.
+	ran := false
+	_, _, merged := g.Do("key", func() ([]byte, error) { ran = true; return nil, nil })
+	if merged || !ran {
+		t.Fatalf("post-cancellation call merged=%v ran=%v, want fresh execution", merged, ran)
+	}
+}

@@ -1,0 +1,226 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// kinds renders a report's failure-kind multiset, sorted, so two runs can
+// be compared for identical classification.
+func kinds(rep *Report) string {
+	var ks []string
+	for _, f := range rep.Failures {
+		ks = append(ks, string(f.Kind))
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// TestReplayDirectiveRoundTrip pins the replay directive encoding: every
+// config survives format → parse unchanged.
+func TestReplayDirectiveRoundTrip(t *testing.T) {
+	configs := []ReplayConfig{
+		{},
+		{Partitioner: "dswp", Threads: 2},
+		{Partitioner: "gremio", Threads: 3, Schedule: "adversarial", QueueCap: 1},
+		{Partitioner: "random", Threads: 2, Schedule: "random", ScheduleSeed: 5, QueueCap: 32},
+		{Fault: fault.DropProduce, FaultSeed: 9, NoSim: true},
+		{Partitioner: "dswp", Threads: 2, Schedule: "round-robin", QueueCap: 1,
+			Fault: fault.MisplacePlan, FaultSeed: 3, NoSim: true},
+	}
+	for _, rc := range configs {
+		got, err := parseReplay(rc.directive())
+		if err != nil {
+			t.Fatalf("parseReplay(%q): %v", rc.directive(), err)
+		}
+		if *got != rc {
+			t.Errorf("directive %q parsed to %+v, want %+v", rc.directive(), *got, rc)
+		}
+	}
+}
+
+// replayCase finds a small generated case whose pinned destructive cell
+// actually fails, so the round-trip test has a classification to compare.
+func replayCase(t *testing.T) (*Case, *ReplayConfig) {
+	t.Helper()
+	rc := &ReplayConfig{
+		Partitioner: "dswp", Threads: 2, Schedule: "round-robin",
+		QueueCap: 1, Fault: fault.DropProduce, FaultSeed: 1, NoSim: true,
+	}
+	for seed := int64(1); seed < 40; seed++ {
+		c := Generate(seed)
+		c.Replay = rc
+		opts, err := rc.Apply(Options{Seed: c.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(c, opts)
+		if err != nil {
+			continue
+		}
+		if !rep.Ok() && rep.Injected > 0 {
+			return c, rc
+		}
+	}
+	t.Fatal("no seed < 40 yields a failing drop-produce cell")
+	return nil, nil
+}
+
+// TestReproRoundTripClassification is the satellite's core guarantee:
+// writing a failing case to the corpus format, parsing it back, and
+// re-running the recorded cell yields the identical mismatch
+// classification (and identical failure report, since every stage is
+// deterministic).
+func TestReproRoundTripClassification(t *testing.T) {
+	c, rc := replayCase(t)
+	opts, err := rc.Apply(Options{Seed: c.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Check(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	text := FormatCase(c)
+	if !strings.Contains(text, "; replay: ") {
+		t.Fatalf("reproducer lost its replay directive:\n%s", text)
+	}
+	got, err := ParseCase(text)
+	if err != nil {
+		t.Fatalf("ParseCase: %v\n%s", err, text)
+	}
+	if got.Replay == nil {
+		t.Fatal("parsed case has no replay config")
+	}
+	if *got.Replay != *rc {
+		t.Fatalf("replay config changed: %+v, want %+v", *got.Replay, *rc)
+	}
+
+	opts2, err := got.Replay.Apply(Options{Seed: got.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Check(got, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(before) != kinds(after) {
+		t.Fatalf("classification changed across the round trip:\nbefore %s\nafter  %s",
+			kinds(before), kinds(after))
+	}
+	render := func(rep *Report) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "runs=%d injected=%d\n", rep.Runs, rep.Injected)
+		for _, f := range rep.Failures {
+			fmt.Fprintf(&b, "%s\n", f)
+		}
+		return b.String()
+	}
+	if render(before) != render(after) {
+		t.Fatalf("report changed across the round trip:\n--- before ---\n%s--- after ---\n%s",
+			render(before), render(after))
+	}
+}
+
+// TestReplayMisplanDetected pins the compile-time fault path end to end: a
+// reproducer whose replay directive arms misplan must re-run into a
+// detected failure (ownership violation or deadlock), the sentinel
+// mechanism gmtstress's CI job relies on.
+func TestReplayMisplanDetected(t *testing.T) {
+	rc := &ReplayConfig{
+		Partitioner: "dswp", Threads: 2, Schedule: "round-robin",
+		QueueCap: 32, Fault: fault.MisplacePlan, FaultSeed: 1, NoSim: true,
+	}
+	for seed := int64(1); seed < 40; seed++ {
+		c := Generate(seed)
+		c.Replay = rc
+		got, err := ParseCase(FormatCase(c))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opts, err := got.Replay.Apply(Options{Seed: got.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(got, opts)
+		if err != nil {
+			continue
+		}
+		if rep.Injected == 0 {
+			continue // no queues to misplace under this seed
+		}
+		if rep.Ok() {
+			t.Fatalf("seed %d: misplanned program passed the oracle:\n%s",
+				seed, FormatCase(got))
+		}
+		if rep.FaultSchedule == "" {
+			t.Fatalf("seed %d: misplan applied but no fault schedule recorded", seed)
+		}
+		return
+	}
+	t.Fatal("no seed < 40 produced a misplaceable program")
+}
+
+// TestParseCaseRejectsCorrupt: truncated or corrupt reproducers are hard
+// parse errors, never best-effort cases.
+func TestParseCaseRejectsCorrupt(t *testing.T) {
+	good := FormatCase(Generate(7))
+	tests := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"truncated IR", good[:len(good)/2]},
+		{"directives only", "; seed: 4\n; args: 1\n"},
+		{"bad seed", strings.Replace(good, "; seed: 7", "; seed: pi", 1)},
+		{"bad args", strings.Replace(good, "; args:", "; args: x", 1)},
+		{"bad mem", strings.Replace(good, "; mem:", "; mem: 1 oops", 1)},
+		{"short object", good + "; object: arr 0\n"},
+		{"negative object base", good + "; object: arr -1 4\n"},
+		{"zero object size", good + "; object: arr 0 0\n"},
+		{"replay not key=value", good + "; replay: dswp\n"},
+		{"unknown replay key", good + "; replay: partition=dswp\n"},
+		{"bad replay int", good + "; replay: threads=two\n"},
+		{"unknown replay fault", good + "; replay: fault=gamma-ray\n"},
+		{"duplicate replay", good + "; replay: threads=2\n; replay: threads=3\n"},
+		{"arg count mismatch", strings.Replace(good, "; args: ", "; args: 1 ", 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCase(tt.text); err == nil {
+				t.Fatalf("corrupt reproducer accepted:\n%s", tt.text)
+			}
+		})
+	}
+}
+
+// TestReplayApplyRejectsUnknownPartitioner: a replay naming a partitioner
+// this binary doesn't have must fail loudly, not fall back to defaults.
+func TestReplayApplyRejectsUnknownPartitioner(t *testing.T) {
+	rc := &ReplayConfig{Partitioner: "hypothetical"}
+	if _, err := rc.Apply(Options{}); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}
+
+// TestShrinkClonePreservesReplay: shrinking a replayed failure keeps the
+// cell pinned, so the shrunk reproducer replays the same configuration.
+func TestShrinkClonePreservesReplay(t *testing.T) {
+	c, rc := replayCase(t)
+	opts, err := rc.Apply(Options{Seed: c.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Shrink(c, StillFails(opts, ""), 200)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if min.Replay == nil || *min.Replay != *rc {
+		t.Fatalf("shrink dropped the replay config: %+v", min.Replay)
+	}
+}

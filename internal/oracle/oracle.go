@@ -55,6 +55,10 @@ type Case struct {
 	Objects []ir.MemObject
 	Args    []int64
 	Mem     []int64
+	// Replay, when non-nil, records the matrix cell the case failed in;
+	// it travels with the reproducer file (see corpus.go) but Check does
+	// not apply it implicitly — callers opt in via ReplayConfig.Apply.
+	Replay *ReplayConfig
 }
 
 // FromProgram wraps a generated random program as a Case.
@@ -356,6 +360,23 @@ func checkPlan(rep *Report, c *Case, g *Golden, label string, plan *mtcg.Plan, o
 		}
 	}
 	queue.Allocate(prog)
+	// The compile-time fault class rewires the communication plan itself;
+	// runtime injectors never see it (Injector ignores the class), so it
+	// is applied here, between code generation and execution.
+	if opts.Inject != nil && opts.Inject.Class == fault.MisplacePlan {
+		mut, desc, applied, err := fault.Misplan(prog, opts.Inject.Seed)
+		if err != nil {
+			rep.add(c.Name, label, ExecError, "misplan: "+err.Error())
+			return
+		}
+		if applied {
+			prog = mut
+			rep.Injected++
+			if rep.FaultSchedule == "" {
+				rep.FaultSchedule = desc
+			}
+		}
+	}
 	CheckProgram(rep, c.Name, g, label, prog, c.Args, c.Mem, opts)
 }
 

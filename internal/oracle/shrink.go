@@ -179,6 +179,7 @@ func clone(c *Case) (*Case, error) {
 		Objects: append([]ir.MemObject(nil), c.Objects...),
 		Args:    append([]int64(nil), c.Args...),
 		Mem:     append([]int64(nil), c.Mem...),
+		Replay:  c.Replay,
 	}, nil
 }
 

@@ -4,15 +4,64 @@
 // result with the single-threaded one — the strongest correctness check in
 // the repository, validating MTCG's claim of producing correct code for
 // *any* partition.
+//
+// Beyond the legacy fuzz profile (a few dozen blocks), the generator spans
+// explicit corpus axes — program size, CFG shape, aliasing density,
+// live-out count, and dependence-chain (queue-pressure) skew — so a corpus
+// sweep (cmd/gmtstress) can cover the scenario space the fixed benchmark
+// suite cannot. Every axis is a pure function of the seed: the same seed
+// and options always produce the same program, byte for byte.
 package randprog
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/ir"
 )
 
-// Options bounds program generation.
+// Shape selects the CFG shape profile of generated programs.
+type Shape string
+
+const (
+	// ShapeMixed is the legacy profile: hammocks and counted loops mixed
+	// with straight-line code.
+	ShapeMixed Shape = "mixed"
+	// ShapeStraight generates single-block straight-line programs (no
+	// control flow beyond the final ret) — the pure dataflow case.
+	ShapeStraight Shape = "straight"
+	// ShapeHammocks generates branchy but loop-free programs: nested
+	// if/else diamonds only.
+	ShapeHammocks Shape = "hammocks"
+	// ShapeLoops generates nested counted loops, some with a second,
+	// data-dependent mid-body exit — the irreducible-leaning multi-exit
+	// profile that stresses region formation and loop contraction.
+	ShapeLoops Shape = "loops"
+)
+
+// Shapes returns every shape, in a fixed order.
+func Shapes() []Shape {
+	return []Shape{ShapeMixed, ShapeStraight, ShapeHammocks, ShapeLoops}
+}
+
+// Generation limits: Options fields are clamped into these ranges by
+// sanitized(), and Validate rejects values outside them so CLIs can report
+// bad flags instead of silently clamping.
+const (
+	MaxDepthLimit    = 8
+	MaxStmtsLimit    = 64
+	MaxArraysLimit   = 8
+	MaxTargetInstrs  = 8192
+	MaxLiveOutsLimit = 16
+	defaultAliasPct  = 20
+	defaultChainPct  = 25
+	controlSharePct  = 30
+)
+
+// Options bounds program generation. The zero value of every new axis
+// keeps the legacy behavior (Shape mixed, default alias/chain mix, up to
+// three live-outs, single statement pass), so DefaultOptions programs are
+// unchanged in character.
 type Options struct {
 	// MaxDepth bounds nesting of loops and hammocks.
 	MaxDepth int
@@ -20,10 +69,94 @@ type Options struct {
 	MaxStmts int
 	// Arrays is the number of memory arrays (each arraySize words).
 	Arrays int
+
+	// TargetInstrs, when positive, keeps emitting top-level statement
+	// sequences until the function holds at least this many instructions
+	// (the corpus size axis, 10..MaxTargetInstrs). Zero means one pass.
+	TargetInstrs int
+	// Shape selects the CFG shape profile; "" means ShapeMixed.
+	Shape Shape
+	// AliasDensity is the approximate percentage of statements that are
+	// memory operations (loads/stores into the shared arrays); 0 means the
+	// default mix (~20%). Ignored when Arrays == 0.
+	AliasDensity int
+	// LiveOuts, when positive, is the exact number of distinct live-out
+	// registers named by the final ret (capped by the registers available);
+	// 0 means the legacy up-to-three random picks.
+	LiveOuts int
+	// QueuePressure is the percentage of arithmetic statements that extend
+	// the newest dependence chain instead of drawing random operands; high
+	// values produce long serial chains that, under any cross-thread
+	// partition, turn into heavy produce/consume traffic. 0 means the
+	// default (~25%).
+	QueuePressure int
 }
 
 // DefaultOptions returns moderate sizes: programs of a few dozen blocks.
 func DefaultOptions() Options { return Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2} }
+
+// Validate reports whether every option is inside its generation limit.
+// Generate itself never panics — it clamps out-of-range values — but a
+// CLI should reject them loudly instead.
+func (o Options) Validate() error {
+	switch {
+	case o.MaxDepth < 0 || o.MaxDepth > MaxDepthLimit:
+		return fmt.Errorf("randprog: MaxDepth %d out of range [0, %d]", o.MaxDepth, MaxDepthLimit)
+	case o.MaxStmts < 1 || o.MaxStmts > MaxStmtsLimit:
+		return fmt.Errorf("randprog: MaxStmts %d out of range [1, %d]", o.MaxStmts, MaxStmtsLimit)
+	case o.Arrays < 0 || o.Arrays > MaxArraysLimit:
+		return fmt.Errorf("randprog: Arrays %d out of range [0, %d]", o.Arrays, MaxArraysLimit)
+	case o.TargetInstrs < 0 || o.TargetInstrs > MaxTargetInstrs:
+		return fmt.Errorf("randprog: TargetInstrs %d out of range [0, %d]", o.TargetInstrs, MaxTargetInstrs)
+	case o.AliasDensity < 0 || o.AliasDensity > 100:
+		return fmt.Errorf("randprog: AliasDensity %d out of range [0, 100]", o.AliasDensity)
+	case o.QueuePressure < 0 || o.QueuePressure > 100:
+		return fmt.Errorf("randprog: QueuePressure %d out of range [0, 100]", o.QueuePressure)
+	case o.LiveOuts < 0 || o.LiveOuts > MaxLiveOutsLimit:
+		return fmt.Errorf("randprog: LiveOuts %d out of range [0, %d]", o.LiveOuts, MaxLiveOutsLimit)
+	}
+	switch o.Shape {
+	case "", ShapeMixed, ShapeStraight, ShapeHammocks, ShapeLoops:
+	default:
+		return fmt.Errorf("randprog: unknown Shape %q (want mixed, straight, hammocks, or loops)", o.Shape)
+	}
+	return nil
+}
+
+// clamp returns v forced into [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sanitized clamps every field into its valid range so generation can
+// never panic (rand.Intn(0)) or run away, whatever a caller passes.
+func (o Options) sanitized() Options {
+	o.MaxDepth = clamp(o.MaxDepth, 0, MaxDepthLimit)
+	o.MaxStmts = clamp(o.MaxStmts, 1, MaxStmtsLimit)
+	o.Arrays = clamp(o.Arrays, 0, MaxArraysLimit)
+	o.TargetInstrs = clamp(o.TargetInstrs, 0, MaxTargetInstrs)
+	if o.AliasDensity == 0 {
+		o.AliasDensity = defaultAliasPct
+	}
+	o.AliasDensity = clamp(o.AliasDensity, 0, 100)
+	if o.QueuePressure == 0 {
+		o.QueuePressure = defaultChainPct
+	}
+	o.QueuePressure = clamp(o.QueuePressure, 0, 100)
+	o.LiveOuts = clamp(o.LiveOuts, 0, MaxLiveOutsLimit)
+	switch o.Shape {
+	case ShapeStraight, ShapeHammocks, ShapeLoops:
+	default:
+		o.Shape = ShapeMixed
+	}
+	return o
+}
 
 const arraySize = 16
 
@@ -40,6 +173,11 @@ type generator struct {
 	rng  *rand.Rand
 	b    *ir.Builder
 	opts Options
+	// cap is the hard instruction budget: once reached, no new control
+	// flow opens, so in-progress sequences drain with straight-line code
+	// and generation always terminates near the target size. Without it,
+	// deep MaxDepth × wide MaxStmts combinations blow up exponentially.
+	cap int
 	// regs are registers guaranteed to hold a value at the current
 	// program point (parameters and previously assigned temporaries).
 	regs []ir.Reg
@@ -49,9 +187,16 @@ type generator struct {
 	protected map[ir.Reg]bool
 }
 
-// Generate builds one random program and a matching input.
+// Generate builds one random program and a matching input. Options are
+// sanitized first, so any value — including zero or negative bounds — is
+// safe; use Validate to reject out-of-range options explicitly.
 func Generate(rng *rand.Rand, opts Options) *Program {
+	opts = opts.sanitized()
 	g := &generator{rng: rng, b: ir.NewBuilder("rand"), opts: opts, protected: map[ir.Reg]bool{}}
+	g.cap = opts.TargetInstrs
+	if g.cap == 0 {
+		g.cap = MaxTargetInstrs
+	}
 	for i := 0; i < opts.Arrays; i++ {
 		g.objs = append(g.objs, g.b.Array("arr", arraySize))
 	}
@@ -60,14 +205,15 @@ func Generate(rng *rand.Rand, opts Options) *Program {
 	p2 := g.b.Param()
 	g.regs = append(g.regs, p1, p2)
 
+	// The size axis: keep appending top-level sequences until the target
+	// is met. Every stmts call emits at least one instruction, so this
+	// terminates.
 	g.stmts(opts.MaxDepth)
-
-	// Live-outs: up to three known registers.
-	var outs []ir.Reg
-	for i := 0; i < 3 && i < len(g.regs); i++ {
-		outs = append(outs, g.regs[g.rng.Intn(len(g.regs))])
+	for opts.TargetInstrs > 0 && g.b.F.NumInstrs() < opts.TargetInstrs {
+		g.stmts(opts.MaxDepth)
 	}
-	g.b.Ret(outs...)
+
+	g.b.Ret(g.liveOuts()...)
 	g.b.F.SplitCriticalEdges()
 
 	mem := make([]int64, g.b.MemSize())
@@ -80,6 +226,25 @@ func Generate(rng *rand.Rand, opts Options) *Program {
 		Args:    []int64{int64(rng.Intn(50) - 25), int64(rng.Intn(50) - 25)},
 		Mem:     mem,
 	}
+}
+
+// liveOuts picks the registers the final ret names. With the LiveOuts
+// axis set it samples exactly that many distinct registers; otherwise the
+// legacy up-to-three picks (duplicates allowed) keep old seeds unchanged
+// in character.
+func (g *generator) liveOuts() []ir.Reg {
+	var outs []ir.Reg
+	if n := g.opts.LiveOuts; n > 0 {
+		perm := g.rng.Perm(len(g.regs))
+		for i := 0; i < n && i < len(perm); i++ {
+			outs = append(outs, g.regs[perm[i]])
+		}
+		return outs
+	}
+	for i := 0; i < 3 && i < len(g.regs); i++ {
+		outs = append(outs, g.regs[g.rng.Intn(len(g.regs))])
+	}
+	return outs
 }
 
 // RandomPartition assigns every schedulable instruction of f a uniform
@@ -101,6 +266,15 @@ func RandomPartition(rng *rand.Rand, f *ir.Function, n int) map[*ir.Instr]int {
 // pick returns a random known register.
 func (g *generator) pick() ir.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
 
+// chainPick returns the newest register with probability QueuePressure —
+// extending the longest dependence chain — and a random one otherwise.
+func (g *generator) chainPick() ir.Reg {
+	if g.rng.Intn(100) < g.opts.QueuePressure {
+		return g.regs[len(g.regs)-1]
+	}
+	return g.pick()
+}
+
 // addr emits a guaranteed-in-bounds address into a random array: base +
 // (value & (arraySize-1)).
 func (g *generator) addr() ir.Reg {
@@ -115,30 +289,76 @@ func (g *generator) addr() ir.Reg {
 func (g *generator) stmts(depth int) {
 	n := 1 + g.rng.Intn(g.opts.MaxStmts)
 	for i := 0; i < n; i++ {
-		switch k := g.rng.Intn(10); {
-		case k < 4: // arithmetic into a fresh register
-			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpLT, ir.CmpGT, ir.CmpEQ}
-			r := g.b.Op2(ops[g.rng.Intn(len(ops))], g.pick(), g.pick())
-			g.regs = append(g.regs, r)
-		case k < 5: // destructive update of an existing register
-			dst := g.pick()
-			if g.protected[dst] {
-				dst = g.b.F.NewReg()
-				g.regs = append(g.regs, dst)
-			}
-			g.b.Op2To(dst, ir.Add, g.pick(), g.pick())
-		case k < 6 && g.opts.Arrays > 0: // load
+		g.stmt(depth)
+	}
+}
+
+// stmt emits one statement, weighted by the aliasing-density and shape
+// axes: memory traffic with weight AliasDensity, control flow (when depth
+// remains and the shape allows it) with a fixed share, arithmetic for the
+// rest.
+func (g *generator) stmt(depth int) {
+	wMem := 0
+	if g.opts.Arrays > 0 {
+		wMem = g.opts.AliasDensity
+	}
+	wCtl := 0
+	if depth > 0 && g.opts.Shape != ShapeStraight && g.b.F.NumInstrs() < g.cap {
+		wCtl = controlSharePct
+	}
+	wArith := 100 - wMem
+	if wArith < 10 {
+		wArith = 10
+	}
+	switch roll := g.rng.Intn(wMem + wCtl + wArith); {
+	case roll < wMem:
+		if g.rng.Intn(2) == 0 {
 			r := g.b.Load(g.addr(), 0)
 			g.regs = append(g.regs, r)
-		case k < 7 && g.opts.Arrays > 0: // store
+		} else {
 			g.b.Store(g.pick(), g.addr(), 0)
-		case k < 9 && depth > 0: // hammock
-			g.hammock(depth - 1)
-		case depth > 0: // bounded loop
-			g.loop(depth - 1)
-		default:
-			r := g.b.Add(g.pick(), g.b.Const(int64(g.rng.Intn(9))))
-			g.regs = append(g.regs, r)
+		}
+	case roll < wMem+wCtl:
+		g.control(depth - 1)
+	default:
+		g.arith()
+	}
+}
+
+// arith emits one arithmetic statement: usually a fresh-register binary
+// op (chain-biased by the queue-pressure axis), sometimes a destructive
+// update or a small immediate add.
+func (g *generator) arith() {
+	switch k := g.rng.Intn(10); {
+	case k < 7: // binary op into a fresh register
+		ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpLT, ir.CmpGT, ir.CmpEQ}
+		r := g.b.Op2(ops[g.rng.Intn(len(ops))], g.chainPick(), g.pick())
+		g.regs = append(g.regs, r)
+	case k < 9: // destructive update of an existing register
+		dst := g.pick()
+		if g.protected[dst] {
+			dst = g.b.F.NewReg()
+			g.regs = append(g.regs, dst)
+		}
+		g.b.Op2To(dst, ir.Add, g.chainPick(), g.pick())
+	default:
+		r := g.b.Add(g.chainPick(), g.b.Const(int64(g.rng.Intn(9))))
+		g.regs = append(g.regs, r)
+	}
+}
+
+// control emits one nested control-flow construct per the shape axis.
+func (g *generator) control(depth int) {
+	switch g.opts.Shape {
+	case ShapeHammocks:
+		g.hammock(depth)
+	case ShapeLoops:
+		g.loop(depth)
+	default: // mixed: legacy 2/3 hammock, 1/3 loop
+		if g.rng.Intn(3) < 2 {
+			g.hammock(depth)
+		} else {
+			g.loop(depth)
 		}
 	}
 }
@@ -174,7 +394,10 @@ func (g *generator) hammock(depth int) {
 }
 
 // loop emits a counted loop with a fresh induction variable (1..4
-// iterations) whose body is a random statement sequence.
+// iterations) whose body is a random statement sequence. Under the loops
+// shape, half the loops additionally take a data-dependent mid-body exit —
+// the multi-exit, irreducible-leaning profile (still reducible: one entry)
+// that stresses region formation and loop contraction.
 func (g *generator) loop(depth int) {
 	body := g.b.Block("body")
 	exit := g.b.Block("exit")
@@ -187,6 +410,16 @@ func (g *generator) loop(depth int) {
 	g.regs = append(g.regs, i)
 	g.protected[i] = true
 	g.stmts(depth)
+	if g.opts.Shape == ShapeLoops && g.rng.Intn(2) == 0 {
+		// Second exit: a break edge out of the middle of the body. The
+		// loop still terminates via the counted latch even when the break
+		// condition never fires.
+		cont := g.b.Block("cont")
+		brk := g.b.CmpGT(g.pick(), g.pick())
+		g.b.Br(brk, exit, cont)
+		g.b.SetBlock(cont)
+		g.stmts(depth)
+	}
 	g.b.Op2To(i, ir.Add, i, g.b.Const(1))
 	lim := g.b.Const(int64(1 + g.rng.Intn(4)))
 	c := g.b.CmpLT(i, lim)

@@ -1,0 +1,289 @@
+package randprog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// TestOptionsValidate is the table-driven option-sanity check: every
+// field's range is enforced, and the zero/negative values that used to
+// panic or degenerate are rejected loudly.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"default", DefaultOptions(), true},
+		{"zero MaxStmts", Options{MaxDepth: 3, MaxStmts: 0, Arrays: 2}, false},
+		{"negative MaxStmts", Options{MaxDepth: 3, MaxStmts: -1, Arrays: 2}, false},
+		{"huge MaxStmts", Options{MaxDepth: 3, MaxStmts: MaxStmtsLimit + 1, Arrays: 2}, false},
+		{"negative MaxDepth", Options{MaxDepth: -1, MaxStmts: 5, Arrays: 2}, false},
+		{"huge MaxDepth", Options{MaxDepth: MaxDepthLimit + 1, MaxStmts: 5, Arrays: 2}, false},
+		{"zero depth ok", Options{MaxDepth: 0, MaxStmts: 5, Arrays: 2}, true},
+		{"negative Arrays", Options{MaxDepth: 3, MaxStmts: 5, Arrays: -2}, false},
+		{"huge Arrays", Options{MaxDepth: 3, MaxStmts: 5, Arrays: MaxArraysLimit + 1}, false},
+		{"zero Arrays ok", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 0}, true},
+		{"negative target", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, TargetInstrs: -5}, false},
+		{"huge target", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, TargetInstrs: MaxTargetInstrs + 1}, false},
+		{"target ok", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, TargetInstrs: 500}, true},
+		{"alias over 100", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, AliasDensity: 101}, false},
+		{"alias negative", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, AliasDensity: -1}, false},
+		{"pressure over 100", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, QueuePressure: 200}, false},
+		{"liveouts negative", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, LiveOuts: -1}, false},
+		{"liveouts huge", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, LiveOuts: MaxLiveOutsLimit + 1}, false},
+		{"bad shape", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, Shape: "spaghetti"}, false},
+		{"empty shape ok", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, Shape: ""}, true},
+		{"every shape ok", Options{MaxDepth: 3, MaxStmts: 5, Arrays: 2, Shape: ShapeLoops}, true},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+// TestGenerateClampsDegenerateOptions pins the satellite fix: options that
+// used to panic (rand.Intn(0)) or produce degenerate programs now generate
+// valid, terminating programs.
+func TestGenerateClampsDegenerateOptions(t *testing.T) {
+	degenerate := []Options{
+		{},                             // all zero: MaxStmts 0 used to panic
+		{MaxStmts: -3, MaxDepth: -1},   // negative bounds
+		{MaxDepth: 100, MaxStmts: 100}, // far over the limits
+		{Arrays: -4, MaxStmts: 1},
+		{TargetInstrs: -7, MaxStmts: 2},
+		{AliasDensity: 999, MaxStmts: 4, Arrays: 1},
+		{Shape: "nonsense", MaxStmts: 3},
+		{LiveOuts: 99, MaxStmts: 3},
+	}
+	for i, opts := range degenerate {
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		p := Generate(rng, opts) // must not panic
+		if err := p.F.Verify(); err != nil {
+			t.Fatalf("opts %d (%+v): generated program invalid: %v", i, opts, err)
+		}
+		if _, err := interp.Run(p.F, p.Args, append([]int64(nil), p.Mem...), 2_000_000); err != nil {
+			t.Fatalf("opts %d (%+v): generated program does not terminate: %v", i, opts, err)
+		}
+	}
+}
+
+// TestGenerateDeterministic: same seed + options = identical program text,
+// inputs, and fingerprint.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, axes := range []Axes{
+		{Size: 60, Shape: ShapeMixed, AliasDensity: 20, LiveOuts: 3, QueuePressure: 35},
+		{Size: 200, Shape: ShapeLoops, AliasDensity: 70, LiveOuts: 6, QueuePressure: 85},
+	} {
+		a := Generate(rand.New(rand.NewSource(42)), axes.Options())
+		b := Generate(rand.New(rand.NewSource(42)), axes.Options())
+		if a.F.String() != b.F.String() {
+			t.Fatalf("%s: program text differs across identical generations", axes)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%s: fingerprint differs across identical generations", axes)
+		}
+	}
+}
+
+// hasBackEdge reports whether the CFG has a back edge (a successor that
+// can reach its predecessor), i.e. a loop.
+func hasBackEdge(f *ir.Function) bool {
+	index := map[*ir.Block]int{}
+	for i, b := range f.Blocks {
+		index[b] = i
+	}
+	// DFS-based: an edge to a block currently on the stack is a back edge.
+	state := make([]int, len(f.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var walk func(b *ir.Block) bool
+	walk = func(b *ir.Block) bool {
+		state[index[b]] = 1
+		for _, s := range b.Succs {
+			switch state[index[s]] {
+			case 1:
+				return true
+			case 0:
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		state[index[b]] = 2
+		return false
+	}
+	return walk(f.Entry())
+}
+
+// TestShapeAxis checks each shape profile produces its promised CFG class.
+func TestShapeAxis(t *testing.T) {
+	gen := func(shape Shape, seed int64) *Program {
+		axes := Axes{Size: 120, Shape: shape, AliasDensity: 20, LiveOuts: 2, QueuePressure: 25}
+		return Generate(rand.New(rand.NewSource(seed)), axes.Options())
+	}
+	// Straight: exactly one block, no branches.
+	for seed := int64(1); seed <= 5; seed++ {
+		p := gen(ShapeStraight, seed)
+		if len(p.F.Blocks) != 1 {
+			t.Fatalf("straight seed %d: %d blocks, want 1", seed, len(p.F.Blocks))
+		}
+	}
+	// Hammocks: branchy but never a back edge.
+	branchy := false
+	for seed := int64(1); seed <= 5; seed++ {
+		p := gen(ShapeHammocks, seed)
+		if hasBackEdge(p.F) {
+			t.Fatalf("hammocks seed %d: found a loop", seed)
+		}
+		if len(p.F.Blocks) > 1 {
+			branchy = true
+		}
+	}
+	if !branchy {
+		t.Fatal("hammocks: no seed produced any control flow")
+	}
+	// Loops: at least one seed yields a back edge.
+	loopy := false
+	for seed := int64(1); seed <= 8 && !loopy; seed++ {
+		loopy = hasBackEdge(gen(ShapeLoops, seed).F)
+	}
+	if !loopy {
+		t.Fatal("loops: no seed produced a back edge")
+	}
+}
+
+// TestSizeAxis checks TargetInstrs actually scales program size.
+func TestSizeAxis(t *testing.T) {
+	for _, target := range []int{10, 160, 1500} {
+		axes := Axes{Size: target, Shape: ShapeMixed, AliasDensity: 20, LiveOuts: 2, QueuePressure: 25}
+		p := Generate(rand.New(rand.NewSource(7)), axes.Options())
+		n := p.F.NumInstrs()
+		if n < target {
+			t.Errorf("target %d: generated only %d instrs", target, n)
+		}
+		// The generator overshoots by at most one statement pass; a pass is
+		// bounded by MaxStmts nested constructs, so 4x is a generous bound
+		// that still catches runaway growth.
+		if n > 4*target+200 {
+			t.Errorf("target %d: generated %d instrs (runaway)", target, n)
+		}
+	}
+}
+
+// TestLiveOutAxis checks the exact-live-out axis: the ret names the
+// requested number of distinct registers.
+func TestLiveOutAxis(t *testing.T) {
+	for _, want := range []int{1, 3, 6, 10} {
+		opts := Options{MaxDepth: 2, MaxStmts: 6, Arrays: 2, TargetInstrs: 80, LiveOuts: want}
+		p := Generate(rand.New(rand.NewSource(11)), opts)
+		ret := p.F.RetInstr()
+		if ret == nil {
+			t.Fatal("no ret")
+		}
+		if len(ret.Srcs) != want {
+			t.Fatalf("LiveOuts=%d: ret names %d registers", want, len(ret.Srcs))
+		}
+		seen := map[ir.Reg]bool{}
+		for _, r := range ret.Srcs {
+			if seen[r] {
+				t.Fatalf("LiveOuts=%d: duplicate live-out %v", want, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// TestAliasDensityAxis checks the density knob is monotone: denser
+// programs carry more memory operations.
+func TestAliasDensityAxis(t *testing.T) {
+	memOps := func(density int) int {
+		axes := Axes{Size: 400, Shape: ShapeMixed, AliasDensity: density, LiveOuts: 2, QueuePressure: 25}
+		p := Generate(rand.New(rand.NewSource(3)), axes.Options())
+		n := 0
+		p.F.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.Load || in.Op == ir.Store {
+				n++
+			}
+		})
+		return n
+	}
+	lo, hi := memOps(5), memOps(70)
+	if hi <= lo {
+		t.Fatalf("alias density not monotone: %d mem ops at 5%%, %d at 70%%", lo, hi)
+	}
+}
+
+// TestManifestRoundTrip: a manifest regenerates its exact corpus, its JSON
+// is byte-deterministic, and version/fingerprint drift is a hard error.
+func TestManifestRoundTrip(t *testing.T) {
+	m := BuildManifest(99, 6, 200)
+	var a, b strings.Builder
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildManifest(99, 6, 200).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("manifest JSON not byte-deterministic")
+	}
+	parsed, err := ParseManifest([]byte(a.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Programs) != 6 {
+		t.Fatalf("parsed %d programs, want 6", len(parsed.Programs))
+	}
+	for i := range parsed.Programs {
+		if _, err := parsed.Regenerate(i); err != nil {
+			t.Fatalf("regenerate %d: %v", i, err)
+		}
+	}
+	// Fingerprint drift must be loud.
+	parsed.Programs[0].Fingerprint = "0000000000000000"
+	if _, err := parsed.Regenerate(0); err == nil {
+		t.Fatal("fingerprint mismatch not reported")
+	}
+	// Unknown versions are hard errors.
+	bad := strings.Replace(a.String(), "\"version\": 1", "\"version\": 999", 1)
+	if _, err := ParseManifest([]byte(bad)); err == nil {
+		t.Fatal("future manifest version accepted")
+	}
+	// Truncated JSON is a hard error.
+	if _, err := ParseManifest([]byte(a.String()[:len(a.String())/2])); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+}
+
+// TestAxesForSeedDeterministicAndDiverse: axes are a pure function of the
+// seed, respect the size cap, and a small seed range covers several values
+// of every axis.
+func TestAxesForSeedDeterministicAndDiverse(t *testing.T) {
+	sizes := map[int]bool{}
+	shapes := map[Shape]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		a := AxesForSeed(seed, 640)
+		if a != AxesForSeed(seed, 640) {
+			t.Fatalf("seed %d: axes not deterministic", seed)
+		}
+		if a.Size > 640 {
+			t.Fatalf("seed %d: size %d exceeds cap", seed, a.Size)
+		}
+		if err := a.Options().Validate(); err != nil {
+			t.Fatalf("seed %d: axes map to invalid options: %v", seed, err)
+		}
+		sizes[a.Size] = true
+		shapes[a.Shape] = true
+	}
+	if len(sizes) < 3 || len(shapes) < 4 {
+		t.Fatalf("axes not diverse over 64 seeds: %d sizes, %d shapes", len(sizes), len(shapes))
+	}
+}

@@ -1,0 +1,180 @@
+package stress
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/randprog"
+)
+
+// render materializes everything a sweep emits — the report and every
+// reproducer — so two sweeps can be compared byte for byte.
+func render(t *testing.T, res *Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Repros {
+		b.WriteString(r.Text)
+	}
+	return b.String()
+}
+
+// TestSweepDeterministicAcrossJobs is the acceptance criterion: the
+// shard-merged report and reproducers are byte-identical across runs and
+// across -j values.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	base := Options{Seed: 5, Cells: 6, MaxSize: 120, Sentinel: true}
+	var first string
+	for _, jobs := range []int{1, 4, 13} {
+		opts := base
+		opts.Jobs = jobs
+		res, err := Sweep(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		got := render(t, res)
+		if first == "" {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("sweep output differs between -j 1 and -j %d:\n--- j=1 ---\n%s--- j=%d ---\n%s",
+				jobs, first, jobs, got)
+		}
+	}
+}
+
+// TestSentinelDetectsShrinksAndReplays pins the planted-bug pipeline: the
+// sentinel cell must fail the sweep, be shrunk into a reproducer, and
+// that reproducer — parsed back through the corpus format — must still
+// fail under its recorded cell.
+func TestSentinelDetectsShrinksAndReplays(t *testing.T) {
+	res, err := Sweep(context.Background(), Options{
+		Seed: 1, Cells: 1, MaxSize: 120, Sentinel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("sentinel sweep passed; the planted misplan went unnoticed")
+	}
+	if len(res.Repros) == 0 {
+		t.Fatal("sentinel failure produced no reproducer")
+	}
+	r := res.Repros[len(res.Repros)-1]
+	c, err := oracle.ParseCase(r.Text)
+	if err != nil {
+		t.Fatalf("reproducer does not parse: %v\n%s", err, r.Text)
+	}
+	if c.Replay == nil {
+		t.Fatalf("reproducer lost its replay directive:\n%s", r.Text)
+	}
+	opts, err := c.Replay.Apply(oracle.Options{Seed: c.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := oracle.Check(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatalf("shrunk reproducer no longer fails under its recorded cell:\n%s", r.Text)
+	}
+}
+
+// TestDrawConfigCoversPools: over a modest cell range the draw must hit
+// every partitioner, schedule, and queue depth, and both fault-free and
+// faulted cells — otherwise the matrix silently narrows.
+func TestDrawConfigCoversPools(t *testing.T) {
+	parts := map[string]bool{}
+	scheds := map[string]bool{}
+	qcaps := map[int]bool{}
+	faultFree, faulted := false, false
+	for i := 0; i < 256; i++ {
+		rc := DrawConfig(1, i)
+		parts[rc.Partitioner] = true
+		scheds[rc.Schedule] = true
+		qcaps[rc.QueueCap] = true
+		if rc.Fault == "" {
+			faultFree = true
+		} else {
+			faulted = true
+		}
+		if got := DrawConfig(1, i); got != rc {
+			t.Fatalf("DrawConfig(1, %d) is not deterministic: %+v vs %+v", i, rc, got)
+		}
+	}
+	if len(parts) != len(partPool) || len(scheds) != len(schedPool) || len(qcaps) != len(qcapPool) {
+		t.Fatalf("draw does not cover the pools: parts=%v scheds=%v qcaps=%v", parts, scheds, qcaps)
+	}
+	if !faultFree || !faulted {
+		t.Fatalf("draw does not mix fault-free and faulted cells (free=%v faulted=%v)", faultFree, faulted)
+	}
+}
+
+// TestSweepFromManifestMatchesStreaming: a sweep over a recorded manifest
+// reproduces the streaming sweep exactly (same seeds, same programs —
+// the manifest adds only the fingerprint check).
+func TestSweepFromManifestMatchesStreaming(t *testing.T) {
+	streamed, err := Sweep(context.Background(), Options{Seed: 9, Cells: 4, MaxSize: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randprog.BuildManifest(9, 4, 120)
+	recorded, err := Sweep(context.Background(), Options{Seed: 9, Cells: 4, MaxSize: 120, Manifest: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(t, streamed), render(t, recorded); a != b {
+		t.Fatalf("manifest sweep diverged from streaming sweep:\n--- streamed ---\n%s--- recorded ---\n%s", a, b)
+	}
+}
+
+// TestSweepRejectsDriftedManifest: a manifest whose fingerprints this
+// binary cannot reproduce must skip those cells loudly, not run different
+// programs under the recorded labels.
+func TestSweepRejectsDriftedManifest(t *testing.T) {
+	m := randprog.BuildManifest(9, 1, 120)
+	m.Programs[0].Fingerprint = "0000000000000000"
+	res, err := Sweep(context.Background(), Options{Seed: 9, Cells: 1, Manifest: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 {
+		t.Fatalf("drifted manifest cell not skipped: %+v", res.Cells[0])
+	}
+	if !strings.Contains(res.Cells[0].Detail, "fingerprint") {
+		t.Fatalf("skip reason does not name the fingerprint mismatch: %q", res.Cells[0].Detail)
+	}
+}
+
+// TestSweepCountsMetrics: the obs counters mirror the report summary.
+func TestSweepCountsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Sweep(context.Background(), Options{
+		Seed: 1, Cells: 2, MaxSize: 120, Sentinel: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"stress.cells":      int64(len(res.Cells)),
+		"stress.runs":       int64(res.Runs),
+		"stress.injected":   res.Injected,
+		"stress.mismatches": int64(res.Mismatches),
+		"stress.undetected": int64(res.Undetected),
+		"stress.skipped":    int64(res.Skipped),
+		"stress.shrinks":    int64(len(res.Repros)),
+	}
+	for name, v := range want {
+		if got := reg.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
