@@ -10,18 +10,32 @@
 //	gmtserve [-addr :8437] [-cache-dir DIR] [-mem-entries N] [-disk-entries N]
 //	         [-jobs N] [-queue N] [-max-profile-steps N] [-max-measure-steps N]
 //	         [-max-sim-cycles N] [-no-degrade] [-metrics out.json]
+//	         [-durable] [-deadline D] [-max-deadline D] [-disk-retries N]
+//	         [-breaker-faults N] [-breaker-probe N]
 //
 // API (see internal/serve):
 //
 //	POST /v1/schedule     {"workload":"ks","partitioner":"gremio","sim":true}
 //	POST /v1/batch        {"requests":[...]} -> in-order responses
 //	GET  /v1/workloads    GET /v1/partitioners
-//	GET  /v1/stats        GET /v1/metrics       GET /v1/healthz
+//	GET  /v1/stats        GET /v1/metrics       GET /v1/healthz[?ready=1]
 //
 // -cache-dir "" disables the disk layer (no warmth across restarts).
-// -metrics writes the full metrics registry on shutdown — atomically,
-// and on error paths too, like every other command. SIGINT/SIGTERM
-// drain in-flight requests before exiting.
+// Opening the cache runs a crash-recovery scan: orphaned temp files are
+// removed and corrupt entries quarantined, so a restart over a dirty
+// directory comes up clean. -durable fsyncs entries on write so the
+// cache survives machine crashes, not just process crashes. Disk faults
+// are retried with bounded deterministic backoff (-disk-retries), and
+// after -breaker-faults consecutive failures the disk layer trips to
+// memory-only mode (fail-open — requests keep serving), probing every
+// -breaker-probe operations until the disk heals.
+//
+// -deadline/-max-deadline bound per-request wall-clock time (504 on
+// expiry); deadlines never enter the cache key. -metrics writes the
+// full metrics registry on shutdown — atomically, and on error paths
+// too, like every other command. SIGINT/SIGTERM mark the server
+// draining (readiness false, /v1/healthz?ready=1 → 503) and drain
+// in-flight requests before exiting.
 package main
 
 import (
@@ -55,6 +69,12 @@ func run() (err error) {
 	maxSim := flag.Int64("max-sim-cycles", 0, "per-request simulator-cycle budget cap (0 = uncapped)")
 	noDegrade := flag.Bool("no-degrade", false, "disable the graceful-degradation chain for requests that don't choose")
 	metricsPath := flag.String("metrics", "", "write the metrics registry as JSON on shutdown")
+	durable := flag.Bool("durable", false, "fsync cache entries on write (crash-durable Puts)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
+	diskRetries := flag.Int("disk-retries", 0, "transient disk-fault retries per cache op (0 = default 2, -1 = off)")
+	breakerFaults := flag.Int("breaker-faults", 0, "consecutive disk faults before tripping to memory-only (0 = default 8, -1 = off)")
+	breakerProbe := flag.Int("breaker-probe", 0, "probe the tripped disk every Nth operation (0 = default 16)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -78,8 +98,14 @@ func run() (err error) {
 			MeasureSteps: *maxMeasure,
 			SimCycles:    *maxSim,
 		},
-		Degrade: !*noDegrade,
-		Metrics: reg,
+		Degrade:          !*noDegrade,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		Durable:          *durable,
+		DiskRetries:      *diskRetries,
+		BreakerThreshold: *breakerFaults,
+		BreakerProbe:     *breakerProbe,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return err
@@ -101,6 +127,7 @@ func run() (err error) {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "gmtserve: shutting down, draining in-flight requests")
+	s.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {

@@ -1,0 +1,108 @@
+package cache
+
+import "sync"
+
+// breaker is the disk layer's fail-open circuit breaker. Disk faults
+// never fail a request — a failed read is a miss, a failed write leaves
+// the memory layer authoritative — but a dying disk would otherwise tax
+// every request with a doomed syscall plus retries. After threshold
+// consecutive faults the breaker opens and the cache runs memory-only;
+// while open, every probeEvery-th disk-layer operation is let through as
+// a probe, and the first probe that succeeds closes the breaker again.
+//
+// The counting is deterministic given a deterministic operation
+// sequence: no wall-clock cooldowns, only operation counts — the same
+// discipline as internal/fault, so chaos runs report byte-identically.
+type breaker struct {
+	threshold  int // consecutive faults to open; <= 0 disables
+	probeEvery int
+	onChange   func(open bool)
+
+	mu      sync.Mutex
+	consec  int
+	open    bool
+	skipped int
+}
+
+// defaults applied by init when the caller passes zero values.
+const (
+	defaultBreakerThreshold = 8
+	defaultBreakerProbe     = 16
+)
+
+func (b *breaker) init(threshold, probeEvery int, onChange func(bool)) {
+	switch {
+	case threshold < 0:
+		b.threshold = 0 // disabled
+	case threshold == 0:
+		b.threshold = defaultBreakerThreshold
+	default:
+		b.threshold = threshold
+	}
+	b.probeEvery = probeEvery
+	if b.probeEvery <= 0 {
+		b.probeEvery = defaultBreakerProbe
+	}
+	b.onChange = onChange
+}
+
+// allow reports whether the next disk operation may proceed, and whether
+// it proceeds as a probe of an open breaker.
+func (b *breaker) allow() (allow, probe bool) {
+	if b.threshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true, false
+	}
+	b.skipped++
+	if b.skipped%b.probeEvery == 0 {
+		return true, true
+	}
+	return false, false
+}
+
+// result records the outcome of an allowed disk operation. It returns +1
+// when this outcome tripped the breaker open, -1 when it closed it, and
+// 0 otherwise, so the caller can count transitions. The onChange
+// callback runs under the breaker lock, which serializes transitions in
+// order; the callback must not reenter the cache.
+func (b *breaker) result(ok bool) int {
+	if b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delta := 0
+	if ok {
+		b.consec = 0
+		if b.open {
+			b.open = false
+			b.skipped = 0
+			delta = -1
+		}
+	} else {
+		b.consec++
+		if !b.open && b.consec >= b.threshold {
+			b.open = true
+			b.skipped = 0
+			delta = +1
+		}
+	}
+	if delta != 0 && b.onChange != nil {
+		b.onChange(delta > 0)
+	}
+	return delta
+}
+
+// isOpen reports whether the disk layer is currently tripped offline.
+func (b *breaker) isOpen() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

@@ -5,15 +5,23 @@
 // stored in two layers — a bounded in-memory LRU in front of an on-disk
 // store that survives process restarts.
 //
-// Every stored payload is wrapped in a checksummed envelope; a truncated,
-// garbage, or tampered entry is indistinguishable from a miss (counted,
-// deleted, and recomputed by the caller — never served). Writes are
-// atomic (temp file + rename), so a crashed writer also degrades to a
-// miss rather than a corrupt read. The cache stores opaque bytes and
-// never re-serializes them, which is what lets the serving layer promise
-// byte-identical responses whether a request is served cold, warm from
-// memory, warm from disk, or merged into another request's flight (see
-// Group).
+// The durability contract is checksum-or-absent: every stored payload is
+// wrapped in a checksummed envelope, writes are atomic (temp + rename,
+// optionally fsynced in Durable mode), opening the store runs a recovery
+// scan that removes orphaned temp files and quarantines invalid
+// envelopes, and a truncated, garbage, or tampered entry read later is
+// quarantined and reported as a miss — never served. The cache stores
+// opaque bytes and never re-serializes them, which is what lets the
+// serving layer promise byte-identical responses whether a request is
+// served cold, warm from memory, warm from disk, or merged into another
+// request's flight (see Group).
+//
+// Every disk touch goes through an internal/vfs filesystem, so tests
+// inject seeded faults (full disk, EIO, torn writes, crash points); the
+// cache answers with bounded deterministic retries for transient faults
+// and a circuit breaker that trips the disk layer to memory-only mode
+// after too many consecutive faults, probing its way back. Disk failure
+// therefore degrades warmth, never correctness or availability.
 package cache
 
 import (
@@ -27,8 +35,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // entryMagic versions the on-disk envelope (not the payload schema —
@@ -36,6 +46,12 @@ import (
 // if the envelope framing itself changes; old entries then read as
 // corrupt, i.e. misses.
 const entryMagic = "gmtcache1"
+
+// quarantineDir, under the cache root, receives invalid envelopes
+// instead of deleting them: operators can inspect what the disk did to
+// the bytes, and the entries are invisible to Get, eviction, and the
+// disk-entry count (the directory name is not a two-character shard).
+const quarantineDir = "quarantine"
 
 // Options configures a Cache.
 type Options struct {
@@ -49,20 +65,56 @@ type Options struct {
 	// are evicted. Eviction order never affects response bytes — an
 	// evicted entry is simply recomputed.
 	DiskEntries int
+	// FS abstracts every disk touch; nil means the host filesystem
+	// (vfs.OS). Tests inject a vfs.Faulty here.
+	FS vfs.FS
+	// Durable fsyncs each written entry and its parent directory, so a
+	// completed Put survives a machine crash, at the cost of two fsyncs
+	// per write. Without it a post-rename crash can tear an entry — the
+	// recovery scan and checksums then turn it into a miss.
+	Durable bool
+	// Retries bounds per-operation retries of transient disk faults
+	// (vfs.Transient); 0 means the default 2, < 0 disables retries.
+	Retries int
+	// RetryBase is the deterministic backoff unit: retry k sleeps
+	// RetryBase << k. 0 means 2ms.
+	RetryBase time.Duration
+	// Sleep replaces time.Sleep in the backoff path (test hook).
+	Sleep func(time.Duration)
+	// BreakerThreshold trips the disk layer to memory-only mode after
+	// this many consecutive disk faults; 0 means the default 8, < 0
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerProbe, while the breaker is open, lets every Nth
+	// disk-layer operation through as a probe; a probe that succeeds
+	// closes the breaker. 0 means the default 16.
+	BreakerProbe int
+	// OnDiskState, when non-nil, is called on every breaker transition;
+	// open=true means the disk layer just went offline. Calls are
+	// serialized under the breaker's lock, so transitions arrive in
+	// order; the callback must not call back into the cache.
+	OnDiskState func(open bool)
 	// Metrics, when non-nil, receives the cache counters: hit.mem,
-	// hit.disk, miss, put, corrupt, evict.mem, evict.disk.
+	// hit.disk, miss, put, corrupt, evict.mem, evict.disk, recovered,
+	// quarantined, read_error, write_error, retry, bypass,
+	// breaker.trip, breaker.probe, breaker.close.
 	Metrics *obs.Scope
 }
 
 // Cache is a two-layer (memory LRU + disk) content-addressed byte store.
 // All methods are safe for concurrent use.
 type Cache struct {
-	opts Options
+	opts      Options
+	fs        vfs.FS
+	retries   int
+	retryBase time.Duration
+	sleep     func(time.Duration)
+	brk       breaker
 
 	mu   sync.Mutex
 	mem  map[string]*list.Element
 	lru  list.List // front = most recently used
-	disk int       // tracked entry count when DiskEntries > 0
+	disk int       // tracked on-disk entry count (rebuilt by the open scan)
 }
 
 type memEntry struct {
@@ -70,26 +122,52 @@ type memEntry struct {
 	payload []byte
 }
 
-// New opens (creating if needed) a cache rooted at opts.Dir.
+// New opens (creating if needed) a cache rooted at opts.Dir and runs the
+// crash-recovery scan: orphaned temp files from crashed or failed writes
+// are removed, envelopes that fail validation are quarantined, and the
+// disk-entry count is rebuilt from what actually survived.
 func New(opts Options) (*Cache, error) {
 	if opts.MemEntries <= 0 {
 		opts.MemEntries = 1024
 	}
 	c := &Cache{opts: opts, mem: map[string]*list.Element{}}
+	c.fs = opts.FS
+	if c.fs == nil {
+		c.fs = vfs.OS{}
+	}
+	switch {
+	case opts.Retries < 0:
+		c.retries = 0
+	case opts.Retries == 0:
+		c.retries = 2
+	default:
+		c.retries = opts.Retries
+	}
+	c.retryBase = opts.RetryBase
+	if c.retryBase == 0 {
+		c.retryBase = 2 * time.Millisecond
+	}
+	c.sleep = opts.Sleep
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	c.brk.init(opts.BreakerThreshold, opts.BreakerProbe, opts.OnDiskState)
 	if opts.Dir != "" {
-		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		if err := c.fs.MkdirAll(opts.Dir); err != nil {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
-		if opts.DiskEntries > 0 {
-			n, err := countEntries(opts.Dir)
-			if err != nil {
-				return nil, fmt.Errorf("cache: %w", err)
-			}
-			c.disk = n
+		n, err := c.recoverScan()
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
 		}
+		c.disk = n
 	}
 	return c, nil
 }
+
+// DiskOffline reports whether the circuit breaker currently has the
+// disk layer tripped to memory-only mode.
+func (c *Cache) DiskOffline() bool { return c.brk.isOpen() }
 
 // pathKey is the content address of a key: its SHA-256, in hex. Keys are
 // usually already fingerprints (see Hasher), but hashing again makes any
@@ -104,10 +182,61 @@ func (c *Cache) entryPath(pk string) string {
 	return filepath.Join(c.opts.Dir, pk[:2], pk)
 }
 
+// readFile reads through the FS with bounded deterministic backoff on
+// transient faults: retry k sleeps RetryBase << k.
+func (c *Cache) readFile(path string) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		raw, err := c.fs.ReadFile(path)
+		if err == nil || !vfs.Transient(err) || attempt >= c.retries {
+			return raw, err
+		}
+		c.opts.Metrics.Counter("retry").Inc()
+		c.sleep(c.retryBase << attempt)
+	}
+}
+
+// writeFile writes through the FS with the same bounded backoff.
+func (c *Cache) writeFile(path string, data []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := c.fs.WriteFile(path, data, c.opts.Durable)
+		if err == nil || !vfs.Transient(err) || attempt >= c.retries {
+			return err
+		}
+		c.opts.Metrics.Counter("retry").Inc()
+		c.sleep(c.retryBase << attempt)
+	}
+}
+
+// diskResult feeds one disk-operation outcome to the breaker and counts
+// any transition it caused.
+func (c *Cache) diskResult(err error) {
+	switch c.brk.result(err == nil) {
+	case +1:
+		c.opts.Metrics.Counter("breaker.trip").Inc()
+	case -1:
+		c.opts.Metrics.Counter("breaker.close").Inc()
+	}
+}
+
+// allowDisk asks the breaker whether this operation may touch the disk,
+// counting bypasses and probes.
+func (c *Cache) allowDisk() bool {
+	allow, probe := c.brk.allow()
+	if !allow {
+		c.opts.Metrics.Counter("bypass").Inc()
+		return false
+	}
+	if probe {
+		c.opts.Metrics.Counter("breaker.probe").Inc()
+	}
+	return true
+}
+
 // Get returns the payload stored under key. The second result reports
-// whether the key was present (in either layer) with a valid checksum; a
-// corrupt or truncated disk entry is deleted and reported as a miss.
-// The returned slice is the caller's to keep.
+// whether the key was present (in either layer) with a valid checksum;
+// a corrupt or truncated disk entry is quarantined and reported as a
+// miss, and a disk read fault — after retries — degrades to a miss
+// rather than an error (fail-open: the caller recomputes).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.mem[key]; ok {
@@ -120,23 +249,30 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.opts.Dir == "" {
+	if c.opts.Dir == "" || !c.allowDisk() {
 		c.opts.Metrics.Counter("miss").Inc()
 		return nil, false
 	}
 	pk := pathKey(key)
-	raw, err := os.ReadFile(c.entryPath(pk))
+	raw, err := c.readFile(c.entryPath(pk))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.opts.Metrics.Counter("read_error").Inc()
+		}
+		// An honest "not there" is a healthy disk answer; anything else
+		// counts against the breaker.
+		c.diskResult(ignoreNotExist(err))
 		c.opts.Metrics.Counter("miss").Inc()
 		return nil, false
 	}
+	c.diskResult(nil)
 	payload, ok := decodeEntry(raw, pk)
 	if !ok {
-		// Truncated or garbage entry: treat as a miss and drop the file
-		// so the next Put rewrites it cleanly.
+		// Truncated or garbage entry: quarantine it and treat the read
+		// as a miss so the next Put rewrites it cleanly.
 		c.opts.Metrics.Counter("corrupt").Inc()
 		c.opts.Metrics.Counter("miss").Inc()
-		if os.Remove(c.entryPath(pk)) == nil && c.opts.DiskEntries > 0 {
+		if c.quarantine(c.entryPath(pk), pk) {
 			c.mu.Lock()
 			c.disk--
 			c.mu.Unlock()
@@ -148,42 +284,63 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return append([]byte(nil), payload...), true
 }
 
+// ignoreNotExist maps a not-exist error to success for breaker
+// accounting.
+func ignoreNotExist(err error) error {
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// quarantine moves an invalid envelope under quarantineDir (falling back
+// to deletion if the move fails) and reports whether the shard lost the
+// file.
+func (c *Cache) quarantine(path, name string) bool {
+	qdir := filepath.Join(c.opts.Dir, quarantineDir)
+	if c.fs.MkdirAll(qdir) == nil && c.fs.Rename(path, filepath.Join(qdir, name)) == nil {
+		c.opts.Metrics.Counter("quarantined").Inc()
+		return true
+	}
+	if c.fs.Remove(path) == nil {
+		c.opts.Metrics.Counter("quarantined").Inc()
+		return true
+	}
+	return false
+}
+
 // Put stores payload under key in both layers. The payload is copied;
-// later mutation of the argument does not affect the cache.
+// later mutation of the argument does not affect the cache. A disk-layer
+// failure is reported but the memory layer already holds the bytes, so
+// callers treat the error as degraded durability, not a failed store.
 func (c *Cache) Put(key string, payload []byte) error {
 	p := append([]byte(nil), payload...)
 	c.insertMem(key, p)
 	c.opts.Metrics.Counter("put").Inc()
-	if c.opts.Dir == "" {
+	if c.opts.Dir == "" || !c.allowDisk() {
 		return nil
 	}
 	pk := pathKey(key)
 	path := c.entryPath(pk)
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(filepath.Dir(path)); err != nil {
+		c.opts.Metrics.Counter("write_error").Inc()
+		c.diskResult(err)
 		return fmt.Errorf("cache: %w", err)
 	}
-	_, statErr := os.Stat(path) // pre-existing entry? (overwrite ≠ growth)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+	_, statErr := c.fs.Stat(path) // pre-existing entry? (overwrite ≠ growth)
+	if err := c.writeFile(path, encodeEntry(p, pk)); err != nil {
+		c.opts.Metrics.Counter("write_error").Inc()
+		c.diskResult(err)
+		return fmt.Errorf("cache: writing %s: %w", pk[:12], err)
 	}
-	_, werr := tmp.Write(encodeEntry(p, pk))
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: writing %s: %w", pk[:12], werr)
-	}
-	if c.opts.DiskEntries > 0 && statErr != nil {
+	c.diskResult(nil)
+	if statErr != nil {
 		c.mu.Lock()
 		c.disk++
-		over := c.disk - c.opts.DiskEntries
+		over := 0
+		if c.opts.DiskEntries > 0 {
+			over = c.disk - c.opts.DiskEntries
+		}
 		c.mu.Unlock()
 		if over > 0 {
 			c.evictDisk(over)
@@ -228,7 +385,7 @@ func (c *Cache) evictDisk(n int) {
 		mod  int64
 	}
 	var entries []aged
-	walkEntries(c.opts.Dir, func(path string, info os.FileInfo) {
+	walkEntries(c.fs, c.opts.Dir, func(path string, info os.FileInfo) {
 		entries = append(entries, aged{path: path, mod: info.ModTime().UnixNano()})
 	})
 	sort.Slice(entries, func(i, j int) bool {
@@ -239,7 +396,7 @@ func (c *Cache) evictDisk(n int) {
 	})
 	var evicted int64
 	for i := 0; i < n && i < len(entries); i++ {
-		if os.Remove(entries[i].path) == nil {
+		if c.fs.Remove(entries[i].path) == nil {
 			evicted++
 		}
 	}
@@ -293,16 +450,19 @@ func decodeEntry(raw []byte, pk string) ([]byte, bool) {
 	return payload, true
 }
 
-// countEntries counts on-disk entries under root.
+// countEntries counts on-disk entries under root (host filesystem; used
+// by tests and tooling).
 func countEntries(root string) (int, error) {
 	n := 0
-	err := walkEntries(root, func(string, os.FileInfo) { n++ })
+	err := walkEntries(vfs.OS{}, root, func(string, os.FileInfo) { n++ })
 	return n, err
 }
 
-// walkEntries visits every entry file under root (skipping temp files).
-func walkEntries(root string, visit func(path string, info os.FileInfo)) error {
-	shards, err := os.ReadDir(root)
+// walkEntries visits every entry file under root (skipping temp files
+// and the quarantine directory, whose name is not a two-character
+// shard).
+func walkEntries(fsys vfs.FS, root string, visit func(path string, info os.FileInfo)) error {
+	shards, err := fsys.ReadDir(root)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -313,7 +473,7 @@ func walkEntries(root string, visit func(path string, info os.FileInfo)) error {
 		if !shard.IsDir() || len(shard.Name()) != 2 {
 			continue
 		}
-		files, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		files, err := fsys.ReadDir(filepath.Join(root, shard.Name()))
 		if err != nil {
 			continue
 		}

@@ -11,13 +11,14 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // entryPaths collects every on-disk entry path, sorted.
 func entryPaths(t *testing.T, dir string) []string {
 	t.Helper()
 	var paths []string
-	if err := walkEntries(dir, func(p string, _ os.FileInfo) {
+	if err := walkEntries(vfs.OS{}, dir, func(p string, _ os.FileInfo) {
 		paths = append(paths, p)
 	}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// recoverScan is the open-time crash-recovery pass. A crashed or failed
+// Put can leave two kinds of debris: orphaned `.tmp-*` files (the write
+// never reached its rename — they are invisible to Get and eviction and
+// would otherwise leak forever) and entries whose envelope no longer
+// validates (a torn or lost post-rename write). The scan removes the
+// former (counted under `recovered`), quarantines the latter (counted
+// under `corrupt` and `quarantined` — the same accounting a Get-time
+// discovery uses), and returns the number of valid entries, which
+// becomes the rebuilt disk-entry count.
+//
+// Individual unreadable or unmovable files never fail the open — the
+// worst case is an entry that will be handled again at Get time. Only a
+// failure to list the root directory itself is an error.
+func (c *Cache) recoverScan() (int, error) {
+	shards, err := c.fs.ReadDir(c.opts.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	valid := 0
+	var recovered int64
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		sdir := filepath.Join(c.opts.Dir, shard.Name())
+		files, err := c.fs.ReadDir(sdir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			path := filepath.Join(sdir, f.Name())
+			if strings.HasPrefix(f.Name(), ".tmp-") {
+				if c.fs.Remove(path) == nil {
+					recovered++
+				}
+				continue
+			}
+			raw, err := c.readFile(path)
+			if err != nil {
+				// Unreadable at open: quarantine rather than count an
+				// entry we may never be able to serve.
+				c.opts.Metrics.Counter("corrupt").Inc()
+				c.quarantine(path, f.Name())
+				continue
+			}
+			// The file name is the path key, so decodeEntry also catches
+			// entries filed under the wrong name.
+			if _, ok := decodeEntry(raw, f.Name()); !ok {
+				c.opts.Metrics.Counter("corrupt").Inc()
+				c.quarantine(path, f.Name())
+				continue
+			}
+			valid++
+		}
+	}
+	c.opts.Metrics.Counter("recovered").Add(recovered)
+	return valid, nil
+}

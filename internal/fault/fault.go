@@ -109,26 +109,27 @@ func (s Spec) String() string { return fmt.Sprintf("%s(seed=%d)", s.Class, s.See
 // New instantiates a fresh injector for one executor run.
 func (s Spec) New() *Injector {
 	i := &Injector{spec: s}
-	h := splitmix(uint64(s.Seed) ^ classSalt(s.Class))
+	h := Splitmix(uint64(s.Seed) ^ ClassSalt(string(s.Class)))
 	// First opportunity to fire, and the refire period. Both are small
 	// enough that any realistic run presents an opportunity, and the
 	// period is large enough that runs are perturbed, not buried.
 	i.offset = int64(h%29) + 1
-	h = splitmix(h)
+	h = Splitmix(h)
 	i.period = int64(h%389) + 97
-	h = splitmix(h)
+	h = Splitmix(h)
 	// Nonzero corruption mask; flips low and high bits so both integer
 	// and reinterpreted float values change materially.
 	i.mask = int64(h) | 1
-	h = splitmix(h)
+	h = Splitmix(h)
 	i.stallLen = int64(h%193) + 64
-	h = splitmix(h)
+	h = Splitmix(h)
 	i.pickSalt = h
 	return i
 }
 
-// classSalt decorrelates schedules across classes under one seed.
-func classSalt(c Class) uint64 {
+// ClassSalt decorrelates schedules across classes under one seed (FNV-1a
+// over the class name). Shared by every seeded injector (fault, vfs).
+func ClassSalt(c string) uint64 {
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(c); i++ {
 		h ^= uint64(c[i])
@@ -137,9 +138,9 @@ func classSalt(c Class) uint64 {
 	return h
 }
 
-// splitmix advances the SplitMix64 generator — tiny, seedable, and
+// Splitmix advances the SplitMix64 generator — tiny, seedable, and
 // deterministic across platforms.
-func splitmix(x uint64) uint64 {
+func Splitmix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	z := x
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -192,7 +193,7 @@ type Injector struct {
 	produces int64 // produce opportunities seen
 	picks    int64 // scheduler-pick opportunities seen
 
-	stallTarget  int   // frozen thread, chosen on first pick
+	stallTarget  int // frozen thread, chosen on first pick
 	stallStarted bool
 	stallLeft    int64
 
@@ -300,7 +301,7 @@ func (i *Injector) Produce(t, q int, v int64, numQueues int, data bool) (int, in
 		}
 		i.produces++
 		if i.fires(i.produces) {
-			to := (q + 1 + int(splitmix(uint64(i.produces))%uint64(numQueues-1))) % numQueues
+			to := (q + 1 + int(Splitmix(uint64(i.produces))%uint64(numQueues-1))) % numQueues
 			i.record(Event{N: i.produces, Where: t, Queue: q,
 				Detail: fmt.Sprintf("produce misdirected to q%d", to)})
 			return to, v, 1
@@ -376,12 +377,12 @@ func Misplan(prog *mtcg.Program, seed int64) (*mtcg.Program, string, bool, error
 	if len(consumes) == 0 {
 		return nil, "", false, nil
 	}
-	h := splitmix(uint64(seed) ^ classSalt(MisplacePlan))
+	h := Splitmix(uint64(seed) ^ ClassSalt(string(MisplacePlan)))
 	victim := consumes[h%uint64(len(consumes))]
 	from := victim.Queue
 	to := prog.NumQueues // out of range: the single-queue case
 	if prog.NumQueues > 1 {
-		to = (from + 1 + int(splitmix(h)%uint64(prog.NumQueues-1))) % prog.NumQueues
+		to = (from + 1 + int(Splitmix(h)%uint64(prog.NumQueues-1))) % prog.NumQueues
 	}
 	victim.Queue = to
 	desc := fmt.Sprintf("consume rewired from q%d to q%d", from, to)

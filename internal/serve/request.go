@@ -54,6 +54,13 @@ type Request struct {
 	// fields take the server defaults; all fields are clamped to the
 	// server's caps.
 	Budget Budget `json:"budget,omitempty"`
+
+	// DeadlineMS bounds this request's wall-clock time in milliseconds;
+	// 0 takes the server default, and either is clamped to the server
+	// cap. Exceeding it returns 504. Unlike Budget, the deadline never
+	// enters the cache key: it changes whether a response arrives in
+	// time, never which bytes it holds.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // MemObject mirrors ir.MemObject for the wire.

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/cache"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 	"repro/internal/workloads"
 )
 
@@ -72,6 +74,32 @@ type Options struct {
 	// Degrade is the graceful-degradation default for requests that do
 	// not set their own.
 	Degrade bool
+	// DefaultDeadline bounds requests that set no deadline of their own;
+	// 0 means none.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps per-request deadlines (requested or default);
+	// 0 means uncapped. Unlike budgets, deadlines never enter the cache
+	// key — they change whether a response arrives, never its bytes.
+	MaxDeadline time.Duration
+	// Durable fsyncs cache entries and their directory on write, so a
+	// completed Put survives a machine crash (see cache.Options.Durable).
+	Durable bool
+	// DiskRetries bounds transient-disk-fault retries per cache
+	// operation; 0 means the cache default (2), < 0 disables.
+	DiskRetries int
+	// RetryBase is the deterministic backoff unit between retries
+	// (attempt k sleeps RetryBase << k); 0 means the cache default.
+	RetryBase time.Duration
+	// BreakerThreshold trips the cache's disk layer to memory-only mode
+	// after this many consecutive disk faults; 0 means the cache default
+	// (8), < 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerProbe, while tripped, probes the disk every Nth operation;
+	// 0 means the cache default (16).
+	BreakerProbe int
+	// FS overrides the cache's filesystem (test hook for fault
+	// injection); nil means the host filesystem.
+	FS vfs.FS
 	// Metrics receives all serve and cache instrumentation; a private
 	// registry is created when nil.
 	Metrics *obs.Registry
@@ -88,13 +116,16 @@ type engineKey struct {
 // Server implements the scheduling service. Create with New, mount
 // Handler on an http.Server.
 type Server struct {
-	jobs       int
-	maxBudget  budget.Budget
-	defDegrade bool
+	jobs        int
+	maxBudget   budget.Budget
+	defDegrade  bool
+	defDeadline time.Duration
+	maxDeadline time.Duration
 
-	cache *cache.Cache
-	sf    cache.Group
-	queue chan struct{}
+	cache  *cache.Cache
+	sf     cache.Group
+	queue  chan struct{}
+	health *health
 
 	reg   *obs.Registry
 	scope *obs.Scope
@@ -105,7 +136,9 @@ type Server struct {
 	engines map[engineKey]*exp.Engine
 }
 
-// New builds a server and opens (creating if needed) its cache directory.
+// New builds a server and opens (creating if needed) its cache
+// directory; opening runs the cache's crash-recovery scan, so a server
+// restarted over a dirty directory comes up clean.
 func New(o Options) (*Server, error) {
 	if o.Jobs <= 0 {
 		o.Jobs = runtime.GOMAXPROCS(0)
@@ -117,26 +150,46 @@ func New(o Options) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	h := newHealth(reg.Scope("serve"))
 	c, err := cache.New(cache.Options{
-		Dir:         o.CacheDir,
-		MemEntries:  o.MemEntries,
-		DiskEntries: o.DiskEntries,
-		Metrics:     reg.Scope("serve.cache"),
+		Dir:              o.CacheDir,
+		MemEntries:       o.MemEntries,
+		DiskEntries:      o.DiskEntries,
+		FS:               o.FS,
+		Durable:          o.Durable,
+		Retries:          o.DiskRetries,
+		RetryBase:        o.RetryBase,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerProbe:     o.BreakerProbe,
+		OnDiskState:      h.setBreaker,
+		Metrics:          reg.Scope("serve.cache"),
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
-		jobs:       o.Jobs,
-		maxBudget:  o.MaxBudget,
-		defDegrade: o.Degrade,
-		cache:      c,
-		queue:      make(chan struct{}, o.Queue),
-		reg:        reg,
-		scope:      reg.Scope("serve"),
-		engines:    map[engineKey]*exp.Engine{},
+		jobs:        o.Jobs,
+		maxBudget:   o.MaxBudget,
+		defDegrade:  o.Degrade,
+		defDeadline: o.DefaultDeadline,
+		maxDeadline: o.MaxDeadline,
+		cache:       c,
+		queue:       make(chan struct{}, o.Queue),
+		health:      h,
+		reg:         reg,
+		scope:       reg.Scope("serve"),
+		engines:     map[engineKey]*exp.Engine{},
 	}, nil
 }
+
+// BeginDrain moves the server into the terminal draining state:
+// readiness turns false so load balancers stop routing here, while
+// in-flight and already-routed requests still complete. Call it before
+// http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.health.setDraining() }
+
+// Health returns the current availability state.
+func (s *Server) Health() State { return s.health.State() }
 
 // Metrics returns the server's registry (for -metrics artifacts and
 // tests).
@@ -158,13 +211,19 @@ func errResult(status int, err error) Result {
 	return Result{Status: status, Source: "error", Body: body}
 }
 
-// Do serves one request through the full path: validate, key, cache,
-// singleflight, bounded compute. It never panics the caller; every
-// failure is a Result with a JSON error body.
+// Do serves one request through the full path: validate, deadline, key,
+// cache, singleflight, bounded compute. It never panics the caller;
+// every failure is a Result with a JSON error body.
 func (s *Server) Do(ctx context.Context, req *Request) Result {
 	s.scope.Counter("requests").Inc()
 	s.scope.Gauge("inflight").SetMax(s.inflight.Add(1))
 	defer s.inflight.Add(-1)
+
+	if d := s.deadlineFor(req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 
 	w, inline, err := req.workload()
 	if err != nil {
@@ -216,12 +275,30 @@ func (s *Server) Do(ctx context.Context, req *Request) Result {
 		return Result{Status: http.StatusOK, Source: "cold", Body: body}
 	case errors.Is(err, errQueueFull):
 		return errResult(http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.scope.Counter("deadline.exceeded").Inc()
+		return errResult(http.StatusGatewayTimeout, err)
 	case ctx.Err() != nil:
 		return errResult(http.StatusServiceUnavailable, err)
 	default:
 		s.scope.Counter("errors").Inc()
 		return errResult(http.StatusInternalServerError, err)
 	}
+}
+
+// deadlineFor resolves a request's effective deadline: the requested
+// value, else the server default, clamped to the server cap. The result
+// never enters the cache key — a deadline changes whether a response
+// arrives in time, never which bytes it holds.
+func (s *Server) deadlineFor(req *Request) time.Duration {
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = s.defDeadline
+	}
+	if s.maxDeadline > 0 && (d <= 0 || d > s.maxDeadline) {
+		d = s.maxDeadline
+	}
+	return d
 }
 
 // compute runs the scheduling pipeline once and caches the exact response
@@ -311,9 +388,9 @@ func (s *Server) engine(inline bool, b budget.Budget, degrade bool) *exp.Engine 
 //	POST /v1/batch        {"requests":[...]} -> {"responses":[...]} in order
 //	GET  /v1/workloads    built-in workload names
 //	GET  /v1/partitioners partitioner names
-//	GET  /v1/stats        serving counters (cache, singleflight, queue)
+//	GET  /v1/stats        serving counters (cache, singleflight, queue, health)
 //	GET  /v1/metrics      the full metrics registry
-//	GET  /v1/healthz      liveness
+//	GET  /v1/healthz      liveness; add ?ready=1 for readiness (503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
@@ -329,9 +406,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		s.reg.WriteJSON(w)
 	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -402,6 +477,21 @@ type Stats struct {
 	QueueCapacity      int   `json:"queue_capacity"`
 	QueueDepth         int   `json:"queue_depth"`
 	Inflight           int64 `json:"inflight"`
+
+	// Robustness counters: the health state machine, the disk breaker,
+	// recovery-at-open results, and per-operation fault handling.
+	Health           string `json:"health"`
+	BreakerOpen      bool   `json:"breaker_open"`
+	BreakerTrips     int64  `json:"breaker_trips"`
+	BreakerCloses    int64  `json:"breaker_closes"`
+	CacheRecovered   int64  `json:"cache_recovered"`
+	CacheQuarantined int64  `json:"cache_quarantined"`
+	CachePutErrors   int64  `json:"cache_put_errors"`
+	CacheReadErrors  int64  `json:"cache_read_errors"`
+	CacheWriteErrors int64  `json:"cache_write_errors"`
+	CacheRetries     int64  `json:"cache_retries"`
+	CacheBypass      int64  `json:"cache_bypass"`
+	DeadlineExceeded int64  `json:"deadline_exceeded"`
 }
 
 // StatsSnapshot reads the current counters (also used by tests).
@@ -423,11 +513,51 @@ func (s *Server) StatsSnapshot() Stats {
 		QueueCapacity:      cap(s.queue),
 		QueueDepth:         len(s.queue),
 		Inflight:           s.inflight.Load(),
+		Health:             s.health.State().String(),
+		BreakerOpen:        s.health.BreakerOpen(),
+		BreakerTrips:       cs.Counter("breaker.trip").Value(),
+		BreakerCloses:      cs.Counter("breaker.close").Value(),
+		CacheRecovered:     cs.Counter("recovered").Value(),
+		CacheQuarantined:   cs.Counter("quarantined").Value(),
+		CachePutErrors:     s.scope.Counter("cache.put_errors").Value(),
+		CacheReadErrors:    cs.Counter("read_error").Value(),
+		CacheWriteErrors:   cs.Counter("write_error").Value(),
+		CacheRetries:       cs.Counter("retry").Value(),
+		CacheBypass:        cs.Counter("bypass").Value(),
+		DeadlineExceeded:   s.scope.Counter("deadline.exceeded").Value(),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// healthzBody is the /v1/healthz response.
+type healthzBody struct {
+	// Ok is liveness: the process is up and answering. It stays true in
+	// every state — even draining, where the process is alive on purpose
+	// to finish in-flight work.
+	Ok bool `json:"ok"`
+	// State is the availability state machine's position:
+	// healthy/degraded/draining.
+	State string `json:"state"`
+	// Ready is readiness: should a balancer route new work here. False
+	// only while draining; degraded still serves (fail-open).
+	Ready bool `json:"ready"`
+}
+
+// handleHealthz separates liveness from readiness: the plain endpoint is
+// a liveness probe (always 200 while the process runs), and ?ready=1
+// makes it a readiness probe (503 once draining, so balancers pull the
+// instance while in-flight requests complete).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := s.health.State()
+	body := healthzBody{Ok: true, State: state.String(), Ready: state != Draining}
+	status := http.StatusOK
+	if r.URL.Query().Get("ready") != "" && !body.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 // readJSON decodes a bounded request body, replying 400 on bad JSON.

@@ -1,0 +1,317 @@
+package vfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+
+	"repro/internal/fault"
+)
+
+// Class names one injectable filesystem fault class.
+type Class string
+
+const (
+	// WriteENOSPC models a filling disk: once the cumulative bytes
+	// written exceed the spec's byte budget, writes take only the
+	// remaining budget into their temp file (a real full disk keeps the
+	// partial data) and fail with ENOSPC; every later write fails too.
+	WriteENOSPC Class = "enospc"
+	// ReadEIO models flaky storage on the read path: seed-scheduled
+	// reads fail with EIO. Consecutive reads never both fire (the
+	// schedule period is at least two), so a single retry is a
+	// meaningful recovery strategy.
+	ReadEIO Class = "eio-read"
+	// TornWrite models silently lossy storage: a seed-scheduled write
+	// reports success but the renamed file holds only the first k bytes.
+	// Only a content checksum can catch this class.
+	TornWrite Class = "torn-write"
+	// RenameFail models a failure at the commit point: the temp file is
+	// fully written, the rename fails with EIO, and the orphaned temp
+	// file is left behind — the leak the recovery scan must clean up.
+	RenameFail Class = "rename-fail"
+	// Crash models kill -9 at a pinned point: the CrashOp-th WriteFile
+	// stops at CrashStep (leaving whatever a real crash would leave) and
+	// every subsequent mutating operation fails with ErrCrashed until
+	// the "process" is restarted on a fresh FS.
+	Crash Class = "crash"
+)
+
+// Classes returns every fault class in a fixed report order.
+func Classes() []Class {
+	return []Class{WriteENOSPC, ReadEIO, TornWrite, RenameFail, Crash}
+}
+
+// CrashStep pins where inside an atomic write a Crash lands.
+type CrashStep int
+
+const (
+	// CrashBeforeTemp dies before anything touches the disk.
+	CrashBeforeTemp CrashStep = iota
+	// CrashMidTemp dies with the temp file truncated at a seed-derived
+	// byte.
+	CrashMidTemp
+	// CrashBeforeRename dies with the temp file complete but never
+	// renamed.
+	CrashBeforeRename
+	// CrashAfterRename dies after the rename. Without durability the
+	// entry's data blocks were never synced, so the visible file is torn
+	// at a seed-derived byte; with durable=true the pre-rename fsync
+	// makes the entry complete and the crash harmless.
+	CrashAfterRename
+)
+
+// CrashSteps returns every crash point in sweep order.
+func CrashSteps() []CrashStep {
+	return []CrashStep{CrashBeforeTemp, CrashMidTemp, CrashBeforeRename, CrashAfterRename}
+}
+
+func (s CrashStep) String() string {
+	switch s {
+	case CrashBeforeTemp:
+		return "before-temp"
+	case CrashMidTemp:
+		return "mid-temp"
+	case CrashBeforeRename:
+		return "before-rename"
+	case CrashAfterRename:
+		return "after-rename"
+	}
+	return fmt.Sprintf("step-%d", int(s))
+}
+
+// ErrCrashed is returned by every mutating operation after a Crash fault
+// fired: the simulated process is dead and its writes are frozen.
+var ErrCrashed = fmt.Errorf("vfs: injected crash: filesystem writes frozen")
+
+// Spec names a fault schedule: a class, the seed that parameterizes
+// where it fires, and — for Crash — the pinned crash point. A Spec is
+// immutable and comparable; instantiate a fresh Faulty per run.
+type Spec struct {
+	Class Class
+	Seed  int64
+	// ByteBudget bounds total writable bytes under WriteENOSPC; <= 0
+	// derives a budget from the seed.
+	ByteBudget int64
+	// CrashOp is the 1-based WriteFile call the Crash class dies in.
+	CrashOp int64
+	// CrashStep is where inside that write the crash lands.
+	CrashStep CrashStep
+}
+
+// String renders the spec for reports.
+func (s Spec) String() string {
+	if s.Class == Crash {
+		return fmt.Sprintf("%s(seed=%d,op=%d,%s)", s.Class, s.Seed, s.CrashOp, s.CrashStep)
+	}
+	return fmt.Sprintf("%s(seed=%d)", s.Class, s.Seed)
+}
+
+// Faulty injects a Spec's fault schedule over the host filesystem. Like
+// fault.Injector, its decisions are a pure function of the spec and the
+// sequence of operations presented, so the same seed over the same
+// workload produces the same faults, byte for byte. All methods are
+// safe for concurrent use (the cache calls them from request
+// goroutines).
+type Faulty struct {
+	spec     Spec
+	offset   int64
+	period   int64
+	tearSalt uint64
+	budget   int64
+
+	mu       sync.Mutex
+	reads    int64
+	writes   int64
+	written  int64
+	crashed  bool
+	injected int64
+}
+
+// NewFaulty instantiates the schedule. Offset and period are small:
+// filesystem operations are scarce compared to interpreter steps, and a
+// period of at least two guarantees two consecutive operations never
+// both fire (which is what makes one retry meaningful under ReadEIO).
+func NewFaulty(spec Spec) *Faulty {
+	f := &Faulty{spec: spec}
+	h := fault.Splitmix(uint64(spec.Seed) ^ fault.ClassSalt(string(spec.Class)))
+	f.offset = int64(h%5) + 1
+	h = fault.Splitmix(h)
+	f.period = int64(h%7) + 2
+	h = fault.Splitmix(h)
+	f.tearSalt = h
+	f.budget = spec.ByteBudget
+	if f.budget <= 0 {
+		f.budget = int64(h%4096) + 512
+	}
+	return f
+}
+
+// Spec returns the immutable schedule name.
+func (f *Faulty) Spec() Spec { return f.spec }
+
+// Injected returns how many faults have fired so far.
+func (f *Faulty) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// fires reports whether opportunity n (1-based) is on the schedule.
+func (f *Faulty) fires(n int64) bool {
+	return n >= f.offset && (n-f.offset)%f.period == 0
+}
+
+// tearAt picks the deterministic truncation point for an n-byte payload:
+// strictly less than n, so a torn write is actually torn.
+func (f *Faulty) tearAt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(f.tearSalt % uint64(n))
+}
+
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if f.spec.Class == ReadEIO {
+		f.mu.Lock()
+		f.reads++
+		fire := f.fires(f.reads)
+		if fire {
+			f.injected++
+		}
+		f.mu.Unlock()
+		if fire {
+			return nil, fmt.Errorf("vfs: injected read fault on %s: %w", filepath.Base(path), syscall.EIO)
+		}
+	}
+	return os.ReadFile(path)
+}
+
+func (f *Faulty) WriteFile(path string, data []byte, durable bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.writes++
+	n := f.writes
+	switch f.spec.Class {
+	case Crash:
+		if n == f.spec.CrashOp {
+			return f.crash(path, data, durable)
+		}
+	case WriteENOSPC:
+		if f.written+int64(len(data)) > f.budget {
+			// A real full disk accepts the bytes that still fit into the
+			// temp file and leaves them there.
+			if rem := f.budget - f.written; rem > 0 {
+				writeTorn(path, data, int(rem), false)
+				f.written = f.budget
+			}
+			f.injected++
+			return fmt.Errorf("vfs: injected full disk writing %s: %w", filepath.Base(path), syscall.ENOSPC)
+		}
+		f.written += int64(len(data))
+	case TornWrite:
+		if f.fires(n) {
+			f.injected++
+			// Reports success; the visible file is truncated at a
+			// seed-derived byte.
+			return writeTorn(path, data, f.tearAt(len(data)), true)
+		}
+	case RenameFail:
+		if f.fires(n) {
+			f.injected++
+			writeTorn(path, data, len(data), false) // orphaned complete temp
+			return fmt.Errorf("vfs: injected rename failure on %s: %w", filepath.Base(path), syscall.EIO)
+		}
+	}
+	return atomicWrite(path, data, durable)
+}
+
+// crash performs the partial work a kill -9 at the pinned step would
+// leave behind, then freezes all subsequent mutations.
+func (f *Faulty) crash(path string, data []byte, durable bool) error {
+	f.crashed = true
+	f.injected++
+	switch f.spec.CrashStep {
+	case CrashBeforeTemp:
+		// Nothing reached the disk.
+	case CrashMidTemp:
+		writeTorn(path, data, f.tearAt(len(data)), false)
+	case CrashBeforeRename:
+		writeTorn(path, data, len(data), false)
+	case CrashAfterRename:
+		if durable {
+			// fsync-before-rename means the renamed entry is complete;
+			// the crash lands after a fully committed write.
+			atomicWrite(path, data, true)
+		} else {
+			writeTorn(path, data, f.tearAt(len(data)), true)
+		}
+	}
+	return ErrCrashed
+}
+
+func (f *Faulty) Remove(path string) error {
+	if f.frozen() {
+		return ErrCrashed
+	}
+	return os.Remove(path)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if f.frozen() {
+		return ErrCrashed
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) MkdirAll(dir string) error {
+	if f.frozen() {
+		return ErrCrashed
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+func (f *Faulty) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+func (f *Faulty) Stat(path string) (fs.FileInfo, error)     { return os.Stat(path) }
+
+func (f *Faulty) frozen() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// writeTorn writes the first k bytes of data to a temp file next to
+// path; rename additionally commits the torn bytes under the final name
+// (the silently-lossy-storage case), otherwise the temp file is left
+// orphaned (the crashed/failed-commit case).
+func writeTorn(path string, data []byte, k int, rename bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if k > len(data) {
+		k = len(data)
+	}
+	_, werr := tmp.Write(data[:k])
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil && rename {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	return werr
+}

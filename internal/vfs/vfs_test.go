@@ -1,0 +1,283 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func tempNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+// TestOSAtomicWrite: the passthrough write lands complete under the
+// final name, replaces prior content, and leaves no temp residue — in
+// both durability modes.
+func TestOSAtomicWrite(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "entry")
+		var fs FS = OS{}
+		if err := fs.WriteFile(path, []byte("first"), durable); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(path, []byte("second"), durable); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "second" {
+			t.Fatalf("durable=%v: read %q, want %q", durable, got, "second")
+		}
+		if tmps := tempNames(t, dir); len(tmps) != 0 {
+			t.Fatalf("durable=%v: temp residue %v", durable, tmps)
+		}
+	}
+}
+
+// TestFaultyDeterminism: the same spec over the same operation sequence
+// injects faults at identical points, run after run.
+func TestFaultyDeterminism(t *testing.T) {
+	run := func() []int {
+		dir := t.TempDir()
+		f := NewFaulty(Spec{Class: TornWrite, Seed: 42})
+		var fired []int
+		for i := 0; i < 20; i++ {
+			path := filepath.Join(dir, "e")
+			before := f.Injected()
+			if err := f.WriteFile(path, bytes.Repeat([]byte{byte(i)}, 100), false); err != nil {
+				t.Fatal(err)
+			}
+			if f.Injected() > before {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired in 20 writes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fired %v then %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fired %v then %v", a, b)
+		}
+	}
+}
+
+// TestFaultyENOSPC: writes past the byte budget keep a partial temp
+// file (a real full disk holds onto the bytes that fit) and fail with
+// ENOSPC — which Transient correctly refuses to retry.
+func TestFaultyENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(Spec{Class: WriteENOSPC, Seed: 7, ByteBudget: 150})
+	path := filepath.Join(dir, "e")
+	if err := f.WriteFile(path, make([]byte, 100), false); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	err := f.WriteFile(filepath.Join(dir, "e2"), make([]byte, 100), false)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over-budget write error = %v, want ENOSPC", err)
+	}
+	if Transient(err) {
+		t.Fatal("ENOSPC classified transient; retrying a full disk burns deadlines")
+	}
+	// The partial temp file holds exactly the remaining 50 budget bytes.
+	tmps := tempNames(t, dir)
+	if len(tmps) != 1 {
+		t.Fatalf("temp files = %v, want exactly the partial one", tmps)
+	}
+	st, err := os.Stat(filepath.Join(dir, tmps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 50 {
+		t.Fatalf("partial temp size = %d, want the remaining 50 budget bytes", st.Size())
+	}
+	// The disk stays full: even a tiny later write fails.
+	if err := f.WriteFile(filepath.Join(dir, "e3"), []byte{1}, false); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-full write error = %v, want ENOSPC", err)
+	}
+}
+
+// TestFaultyReadEIO: scheduled reads fail with a transient EIO, and the
+// schedule's period >= 2 guarantees the immediate retry succeeds.
+func TestFaultyReadEIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(Spec{Class: ReadEIO, Seed: 3})
+	sawFault := false
+	for i := 0; i < 20; i++ {
+		_, err := f.ReadFile(path)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, syscall.EIO) || !Transient(err) {
+			t.Fatalf("read fault = %v, want transient EIO", err)
+		}
+		sawFault = true
+		// Period >= 2: the very next read must succeed.
+		if got, rerr := f.ReadFile(path); rerr != nil || string(got) != "payload" {
+			t.Fatalf("retry after EIO: %q, %v", got, rerr)
+		}
+	}
+	if !sawFault {
+		t.Fatal("no read fault fired in 20 reads")
+	}
+}
+
+// TestFaultyTornWrite: a scheduled tear reports success but the visible
+// file is strictly shorter than the payload — the silent-corruption
+// class only checksums can catch.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(Spec{Class: TornWrite, Seed: 11})
+	payload := bytes.Repeat([]byte("x"), 200)
+	torn := false
+	for i := 0; i < 20 && !torn; i++ {
+		path := filepath.Join(dir, "e")
+		if err := f.WriteFile(path, payload, false); err != nil {
+			t.Fatalf("torn write must report success, got %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < len(payload) {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("no torn write in 20 attempts")
+	}
+}
+
+// TestFaultyRenameFail: the commit-point failure leaves a complete but
+// orphaned temp file — the leak the cache recovery scan exists for.
+func TestFaultyRenameFail(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(Spec{Class: RenameFail, Seed: 5})
+	payload := []byte("payload-bytes")
+	failedPath := ""
+	for i := 0; i < 20 && failedPath == ""; i++ {
+		// Distinct paths per write, so the failed commit's absence is
+		// observable (a retry to the same path would mask it).
+		path := filepath.Join(dir, fmt.Sprintf("e%d", i))
+		err := f.WriteFile(path, payload, false)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("rename fault = %v, want EIO", err)
+		}
+		failedPath = path
+	}
+	if failedPath == "" {
+		t.Fatal("no rename failure in 20 writes")
+	}
+	if _, err := os.Stat(failedPath); !os.IsNotExist(err) {
+		t.Fatal("failed rename still produced the final file")
+	}
+	tmps := tempNames(t, dir)
+	if len(tmps) == 0 {
+		t.Fatal("no orphaned temp file after rename failure")
+	}
+	got, err := os.ReadFile(filepath.Join(dir, tmps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("orphaned temp holds %q, want the complete payload", got)
+	}
+}
+
+// TestFaultyCrashSteps verifies the exact disk state each crash point
+// leaves behind, and that the frozen filesystem rejects every mutation
+// afterwards.
+func TestFaultyCrashSteps(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 300)
+	for _, tc := range []struct {
+		step      CrashStep
+		durable   bool
+		wantFile  bool // final name exists
+		wantWhole bool // ...with the complete payload
+		wantTemp  bool // a temp file survives
+	}{
+		{CrashBeforeTemp, false, false, false, false},
+		{CrashMidTemp, false, false, false, true},
+		{CrashBeforeRename, false, false, false, true},
+		{CrashAfterRename, false, true, false, false},
+		{CrashAfterRename, true, true, true, false},
+	} {
+		t.Run(tc.step.String()+map[bool]string{true: "-durable", false: ""}[tc.durable], func(t *testing.T) {
+			dir := t.TempDir()
+			f := NewFaulty(Spec{Class: Crash, Seed: 9, CrashOp: 1, CrashStep: tc.step})
+			path := filepath.Join(dir, "e")
+			if err := f.WriteFile(path, payload, tc.durable); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("crash write error = %v, want ErrCrashed", err)
+			}
+			if !f.Crashed() {
+				t.Fatal("Crashed() = false after the crash point")
+			}
+			got, err := os.ReadFile(path)
+			switch {
+			case tc.wantWhole:
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Fatalf("want complete entry, got %d bytes, err %v", len(got), err)
+				}
+			case tc.wantFile:
+				if err != nil {
+					t.Fatalf("want a (torn) entry under the final name: %v", err)
+				}
+				if bytes.Equal(got, payload) {
+					t.Fatal("non-durable after-rename crash left a complete entry; want torn")
+				}
+			default:
+				if !os.IsNotExist(err) {
+					t.Fatalf("want no final file, got err %v", err)
+				}
+			}
+			if haveTemp := len(tempNames(t, dir)) > 0; haveTemp != tc.wantTemp {
+				t.Fatalf("temp residue = %v, want %v", haveTemp, tc.wantTemp)
+			}
+			// The dead process's filesystem is frozen.
+			if err := f.WriteFile(filepath.Join(dir, "later"), []byte{1}, false); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash write error = %v, want ErrCrashed", err)
+			}
+			if err := f.Remove(path); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash remove error = %v, want ErrCrashed", err)
+			}
+			if err := f.MkdirAll(filepath.Join(dir, "sub")); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash mkdir error = %v, want ErrCrashed", err)
+			}
+			// Reads still work: recovery tooling inspects the dead disk.
+			if _, err := f.ReadDir(dir); err != nil {
+				t.Fatalf("post-crash readdir: %v", err)
+			}
+		})
+	}
+}
