@@ -146,14 +146,20 @@ func replayRepro(path string, opts oracle.Options, shrink bool) error {
 	if err != nil {
 		return cli.Usagef("%v", err)
 	}
+	// A trace directive links the file to the telemetry of the run that
+	// found it; echo it so replay output is greppable by trace ID.
+	trace := ""
+	if c.TraceID != "" {
+		trace = fmt.Sprintf(", trace %s", c.TraceID)
+	}
 	if c.Replay != nil {
 		opts.Seed = c.Seed
 		if opts, err = c.Replay.Apply(opts); err != nil {
 			return cli.Usagef("%v", err)
 		}
-		fmt.Printf("replaying %s (cell: %s)\n", c.Name, c.Replay)
+		fmt.Printf("replaying %s (cell: %s%s)\n", c.Name, c.Replay, trace)
 	} else {
-		fmt.Printf("replaying %s (full matrix)\n", c.Name)
+		fmt.Printf("replaying %s (full matrix%s)\n", c.Name, trace)
 	}
 	rep, err := oracle.Check(c, opts)
 	if err != nil {

@@ -11,7 +11,8 @@
 //	         [-jobs N] [-queue N] [-max-profile-steps N] [-max-measure-steps N]
 //	         [-max-sim-cycles N] [-no-degrade] [-metrics out.json]
 //	         [-durable] [-deadline D] [-max-deadline D] [-disk-retries N]
-//	         [-breaker-faults N] [-breaker-probe N]
+//	         [-breaker-faults N] [-breaker-probe N] [-trace-retain N]
+//	         [-flight-recorder-size N] [-flight-dir DIR] [-access-log FILE]
 //
 // API (see internal/serve):
 //
@@ -19,6 +20,8 @@
 //	POST /v1/batch        {"requests":[...]} -> in-order responses
 //	GET  /v1/workloads    GET /v1/partitioners
 //	GET  /v1/stats        GET /v1/metrics       GET /v1/healthz[?ready=1]
+//	GET  /v1/trace/{id}   span tree of a retained request trace
+//	GET  /metrics         Prometheus text-format exposition
 //
 // -cache-dir "" disables the disk layer (no warmth across restarts).
 // Opening the cache runs a crash-recovery scan: orphaned temp files are
@@ -29,6 +32,14 @@
 // after -breaker-faults consecutive failures the disk layer trips to
 // memory-only mode (fail-open — requests keep serving), probing every
 // -breaker-probe operations until the disk heals.
+//
+// Every response carries its trace ID in the X-Gmtserve-Trace header
+// (and error bodies carry it inline); the span tree of the last
+// -trace-retain requests is queryable at GET /v1/trace/{id}. A bounded
+// flight recorder keeps the last -flight-recorder-size traces and — if
+// -flight-dir is set — snapshots them atomically to disk on every 5xx,
+// breaker trip, and drain. -access-log appends one structured JSON
+// line per request.
 //
 // -deadline/-max-deadline bound per-request wall-clock time (504 on
 // expiry); deadlines never enter the cache key. -metrics writes the
@@ -43,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -75,7 +87,21 @@ func run() (err error) {
 	diskRetries := flag.Int("disk-retries", 0, "transient disk-fault retries per cache op (0 = default 2, -1 = off)")
 	breakerFaults := flag.Int("breaker-faults", 0, "consecutive disk faults before tripping to memory-only (0 = default 8, -1 = off)")
 	breakerProbe := flag.Int("breaker-probe", 0, "probe the tripped disk every Nth operation (0 = default 16)")
+	traceRetain := flag.Int("trace-retain", 0, "request traces retained for GET /v1/trace/{id} (0 = default 256)")
+	flightSize := flag.Int("flight-recorder-size", 0, "flight-recorder ring size in traces (0 = default 32)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder dumps on 5xx/breaker/drain (\"\" = disabled)")
+	accessLog := flag.String("access-log", "", "append structured JSON access-log lines to this file (\"\" = disabled)")
 	flag.Parse()
+
+	var accessW io.Writer
+	if *accessLog != "" {
+		f, ferr := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("opening access log: %v", ferr)
+		}
+		defer f.Close()
+		accessW = f
+	}
 
 	reg := obs.NewRegistry()
 	defer func() {
@@ -106,6 +132,10 @@ func run() (err error) {
 		BreakerThreshold: *breakerFaults,
 		BreakerProbe:     *breakerProbe,
 		Metrics:          reg,
+		TraceRetain:      *traceRetain,
+		FlightSize:       *flightSize,
+		FlightDir:        *flightDir,
+		AccessLog:        accessW,
 	})
 	if err != nil {
 		return err

@@ -101,6 +101,35 @@ type Options struct {
 	Metrics *obs.Scope
 }
 
+// OpEvents collects the fault-handling events of a single cache call so
+// the serving layer can attribute them to one request's trace. The
+// fields mirror the registry counters (which aggregate across all
+// requests and cannot say which request paid for a retry). A nil
+// *OpEvents records nothing; a non-nil one must not be shared between
+// concurrent calls.
+type OpEvents struct {
+	// Layer reports where a Get was answered: "mem", "disk", or "miss".
+	Layer string
+	// Retries counts transient-fault retries inside this call.
+	Retries int64
+	// ReadErrors and WriteErrors count disk faults that survived the
+	// retry budget.
+	ReadErrors  int64
+	WriteErrors int64
+	// Corrupt counts invalid envelopes this call tripped over.
+	Corrupt int64
+	// Quarantined counts envelopes this call moved to quarantine.
+	Quarantined int64
+	// Bypass counts disk accesses the open breaker suppressed.
+	Bypass int64
+	// Probes counts breaker probes this call performed.
+	Probes int64
+	// BreakerTrips and BreakerCloses count breaker transitions this
+	// call caused.
+	BreakerTrips  int64
+	BreakerCloses int64
+}
+
 // Cache is a two-layer (memory LRU + disk) content-addressed byte store.
 // All methods are safe for concurrent use.
 type Cache struct {
@@ -184,50 +213,68 @@ func (c *Cache) entryPath(pk string) string {
 
 // readFile reads through the FS with bounded deterministic backoff on
 // transient faults: retry k sleeps RetryBase << k.
-func (c *Cache) readFile(path string) ([]byte, error) {
+func (c *Cache) readFile(path string, ev *OpEvents) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		raw, err := c.fs.ReadFile(path)
 		if err == nil || !vfs.Transient(err) || attempt >= c.retries {
 			return raw, err
 		}
 		c.opts.Metrics.Counter("retry").Inc()
+		if ev != nil {
+			ev.Retries++
+		}
 		c.sleep(c.retryBase << attempt)
 	}
 }
 
 // writeFile writes through the FS with the same bounded backoff.
-func (c *Cache) writeFile(path string, data []byte) error {
+func (c *Cache) writeFile(path string, data []byte, ev *OpEvents) error {
 	for attempt := 0; ; attempt++ {
 		err := c.fs.WriteFile(path, data, c.opts.Durable)
 		if err == nil || !vfs.Transient(err) || attempt >= c.retries {
 			return err
 		}
 		c.opts.Metrics.Counter("retry").Inc()
+		if ev != nil {
+			ev.Retries++
+		}
 		c.sleep(c.retryBase << attempt)
 	}
 }
 
 // diskResult feeds one disk-operation outcome to the breaker and counts
 // any transition it caused.
-func (c *Cache) diskResult(err error) {
+func (c *Cache) diskResult(err error, ev *OpEvents) {
 	switch c.brk.result(err == nil) {
 	case +1:
 		c.opts.Metrics.Counter("breaker.trip").Inc()
+		if ev != nil {
+			ev.BreakerTrips++
+		}
 	case -1:
 		c.opts.Metrics.Counter("breaker.close").Inc()
+		if ev != nil {
+			ev.BreakerCloses++
+		}
 	}
 }
 
 // allowDisk asks the breaker whether this operation may touch the disk,
 // counting bypasses and probes.
-func (c *Cache) allowDisk() bool {
+func (c *Cache) allowDisk(ev *OpEvents) bool {
 	allow, probe := c.brk.allow()
 	if !allow {
 		c.opts.Metrics.Counter("bypass").Inc()
+		if ev != nil {
+			ev.Bypass++
+		}
 		return false
 	}
 	if probe {
 		c.opts.Metrics.Counter("breaker.probe").Inc()
+		if ev != nil {
+			ev.Probes++
+		}
 	}
 	return true
 }
@@ -238,6 +285,13 @@ func (c *Cache) allowDisk() bool {
 // miss, and a disk read fault — after retries — degrades to a miss
 // rather than an error (fail-open: the caller recomputes).
 func (c *Cache) Get(key string) ([]byte, bool) {
+	return c.GetEv(key, nil)
+}
+
+// GetEv is Get with per-call event capture: retries, faults, breaker
+// activity, and the answering layer are recorded into ev (which may be
+// nil) in addition to the aggregate registry counters.
+func (c *Cache) GetEv(key string, ev *OpEvents) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.mem[key]; ok {
 		c.lru.MoveToFront(el)
@@ -245,34 +299,46 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		out := append([]byte(nil), p...)
 		c.mu.Unlock()
 		c.opts.Metrics.Counter("hit.mem").Inc()
+		if ev != nil {
+			ev.Layer = "mem"
+		}
 		return out, true
 	}
 	c.mu.Unlock()
 
-	if c.opts.Dir == "" || !c.allowDisk() {
+	if ev != nil {
+		ev.Layer = "miss"
+	}
+	if c.opts.Dir == "" || !c.allowDisk(ev) {
 		c.opts.Metrics.Counter("miss").Inc()
 		return nil, false
 	}
 	pk := pathKey(key)
-	raw, err := c.readFile(c.entryPath(pk))
+	raw, err := c.readFile(c.entryPath(pk), ev)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.opts.Metrics.Counter("read_error").Inc()
+			if ev != nil {
+				ev.ReadErrors++
+			}
 		}
 		// An honest "not there" is a healthy disk answer; anything else
 		// counts against the breaker.
-		c.diskResult(ignoreNotExist(err))
+		c.diskResult(ignoreNotExist(err), ev)
 		c.opts.Metrics.Counter("miss").Inc()
 		return nil, false
 	}
-	c.diskResult(nil)
+	c.diskResult(nil, ev)
 	payload, ok := decodeEntry(raw, pk)
 	if !ok {
 		// Truncated or garbage entry: quarantine it and treat the read
 		// as a miss so the next Put rewrites it cleanly.
 		c.opts.Metrics.Counter("corrupt").Inc()
 		c.opts.Metrics.Counter("miss").Inc()
-		if c.quarantine(c.entryPath(pk), pk) {
+		if ev != nil {
+			ev.Corrupt++
+		}
+		if c.quarantine(c.entryPath(pk), pk, ev) {
 			c.mu.Lock()
 			c.disk--
 			c.mu.Unlock()
@@ -281,6 +347,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.insertMem(key, payload)
 	c.opts.Metrics.Counter("hit.disk").Inc()
+	if ev != nil {
+		ev.Layer = "disk"
+	}
 	return append([]byte(nil), payload...), true
 }
 
@@ -296,17 +365,19 @@ func ignoreNotExist(err error) error {
 // quarantine moves an invalid envelope under quarantineDir (falling back
 // to deletion if the move fails) and reports whether the shard lost the
 // file.
-func (c *Cache) quarantine(path, name string) bool {
+func (c *Cache) quarantine(path, name string, ev *OpEvents) bool {
 	qdir := filepath.Join(c.opts.Dir, quarantineDir)
-	if c.fs.MkdirAll(qdir) == nil && c.fs.Rename(path, filepath.Join(qdir, name)) == nil {
-		c.opts.Metrics.Counter("quarantined").Inc()
-		return true
+	ok := c.fs.MkdirAll(qdir) == nil && c.fs.Rename(path, filepath.Join(qdir, name)) == nil
+	if !ok {
+		ok = c.fs.Remove(path) == nil
 	}
-	if c.fs.Remove(path) == nil {
+	if ok {
 		c.opts.Metrics.Counter("quarantined").Inc()
-		return true
+		if ev != nil {
+			ev.Quarantined++
+		}
 	}
-	return false
+	return ok
 }
 
 // Put stores payload under key in both layers. The payload is copied;
@@ -314,26 +385,37 @@ func (c *Cache) quarantine(path, name string) bool {
 // failure is reported but the memory layer already holds the bytes, so
 // callers treat the error as degraded durability, not a failed store.
 func (c *Cache) Put(key string, payload []byte) error {
+	return c.PutEv(key, payload, nil)
+}
+
+// PutEv is Put with per-call event capture into ev (which may be nil).
+func (c *Cache) PutEv(key string, payload []byte, ev *OpEvents) error {
 	p := append([]byte(nil), payload...)
 	c.insertMem(key, p)
 	c.opts.Metrics.Counter("put").Inc()
-	if c.opts.Dir == "" || !c.allowDisk() {
+	if c.opts.Dir == "" || !c.allowDisk(ev) {
 		return nil
 	}
 	pk := pathKey(key)
 	path := c.entryPath(pk)
 	if err := c.fs.MkdirAll(filepath.Dir(path)); err != nil {
 		c.opts.Metrics.Counter("write_error").Inc()
-		c.diskResult(err)
+		if ev != nil {
+			ev.WriteErrors++
+		}
+		c.diskResult(err, ev)
 		return fmt.Errorf("cache: %w", err)
 	}
 	_, statErr := c.fs.Stat(path) // pre-existing entry? (overwrite ≠ growth)
-	if err := c.writeFile(path, encodeEntry(p, pk)); err != nil {
+	if err := c.writeFile(path, encodeEntry(p, pk), ev); err != nil {
 		c.opts.Metrics.Counter("write_error").Inc()
-		c.diskResult(err)
+		if ev != nil {
+			ev.WriteErrors++
+		}
+		c.diskResult(err, ev)
 		return fmt.Errorf("cache: writing %s: %w", pk[:12], err)
 	}
-	c.diskResult(nil)
+	c.diskResult(nil, ev)
 	if statErr != nil {
 		c.mu.Lock()
 		c.disk++

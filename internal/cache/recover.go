@@ -49,19 +49,19 @@ func (c *Cache) recoverScan() (int, error) {
 				}
 				continue
 			}
-			raw, err := c.readFile(path)
+			raw, err := c.readFile(path, nil)
 			if err != nil {
 				// Unreadable at open: quarantine rather than count an
 				// entry we may never be able to serve.
 				c.opts.Metrics.Counter("corrupt").Inc()
-				c.quarantine(path, f.Name())
+				c.quarantine(path, f.Name(), nil)
 				continue
 			}
 			// The file name is the path key, so decodeEntry also catches
 			// entries filed under the wrong name.
 			if _, ok := decodeEntry(raw, f.Name()); !ok {
 				c.opts.Metrics.Counter("corrupt").Inc()
-				c.quarantine(path, f.Name())
+				c.quarantine(path, f.Name(), nil)
 				continue
 			}
 			valid++

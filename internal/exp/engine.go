@@ -11,6 +11,7 @@ import (
 	"repro/internal/coco"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -260,13 +261,49 @@ func (e *Engine) SingleThreadedCycles(ctx context.Context, cfg sim.Config, w *wo
 // unit of work the serve daemon computes per request. The degradation
 // chain applies exactly as in CommExperiment.
 func (e *Engine) CommCell(ctx context.Context, w *workloads.Workload, part partition.Partitioner) (CommRow, error) {
-	return e.commCell(ctx, cell{part: part, w: w})
+	return e.commCell(ctx, cell{part: part, w: w}, nil)
+}
+
+// CommCellSpan is CommCell with per-call trace capture: each attempt of
+// the degradation chain, its pipeline/measure stages, and every
+// fallback hop are recorded as children of sp. Engines are shared
+// across requests (memoization), so per-request observation rides the
+// call, not EngineOptions.Obs. A nil span records nothing.
+func (e *Engine) CommCellSpan(ctx context.Context, w *workloads.Workload, part partition.Partitioner, sp *obs.Span) (CommRow, error) {
+	return e.commCell(ctx, cell{part: part, w: w}, sp)
 }
 
 // SpeedupCell simulates a single (workload, partitioner) matrix cell on
 // the given machine, with the degradation chain of SpeedupExperiment.
 func (e *Engine) SpeedupCell(ctx context.Context, cfg sim.Config, w *workloads.Workload, part partition.Partitioner) (SpeedupRow, error) {
-	return e.speedupCell(ctx, cfg, cell{part: part, w: w})
+	return e.speedupCell(ctx, cfg, cell{part: part, w: w}, nil)
+}
+
+// SpeedupCellSpan is SpeedupCell with per-call trace capture into sp
+// (which may be nil), mirroring CommCellSpan.
+func (e *Engine) SpeedupCellSpan(ctx context.Context, cfg sim.Config, w *workloads.Workload, part partition.Partitioner, sp *obs.Span) (SpeedupRow, error) {
+	return e.speedupCell(ctx, cfg, cell{part: part, w: w}, sp)
+}
+
+// spanAttempt opens one degradation-chain attempt span under sp.
+func spanAttempt(sp *obs.Span, part partition.Partitioner) *obs.Span {
+	asp := sp.Child("attempt")
+	if part == nil {
+		asp.SetStr("partitioner", FallbackSingle)
+	} else {
+		asp.SetStr("partitioner", part.Name())
+	}
+	return asp
+}
+
+// spanFail stamps a failed attempt with its structured cause and
+// records the fallback hop the chain is about to take.
+func spanFail(sp, asp *obs.Span, serr *StageError) {
+	asp.SetStr("outcome", "failed").SetStr("stage", serr.Stage).SetStr("class", string(serr.Class))
+	asp.Finish()
+	hop := sp.Child("degrade")
+	hop.SetStr("from", serr.Partitioner).SetStr("stage", serr.Stage).SetStr("class", string(serr.Class))
+	hop.Finish()
 }
 
 // cell identifies one matrix position: the serial iteration order is
@@ -297,7 +334,7 @@ func (e *Engine) CommExperiment(ctx context.Context, ws []*workloads.Workload) (
 	cells := matrix(ws)
 	rows := make([]CommRow, len(cells))
 	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
-		row, err := e.commCell(ctx, cells[i])
+		row, err := e.commCell(ctx, cells[i], nil)
 		if err != nil {
 			return err
 		}
@@ -312,33 +349,43 @@ func (e *Engine) CommExperiment(ctx context.Context, ws []*workloads.Workload) (
 
 // commCell measures one matrix cell, walking the degradation chain when
 // enabled: requested partitioner → alternate partitioner → single-threaded.
-func (e *Engine) commCell(ctx context.Context, c cell) (CommRow, error) {
+func (e *Engine) commCell(ctx context.Context, c cell, sp *obs.Span) (CommRow, error) {
 	row := CommRow{Workload: c.w.Name, Partitioner: c.part.Name()}
 	attempts := []partition.Partitioner{c.part}
 	if e.degrade {
 		attempts = append(attempts, fallbackFor(c.part)...)
 	}
 	for _, part := range attempts {
+		asp := spanAttempt(sp, part)
 		if part == nil { // last resort: the unpartitioned program
 			st, err := e.singleThreadedComm(ctx, c.w)
 			if err != nil {
+				asp.SetStr("outcome", "failed")
+				asp.Finish()
 				return row, err
 			}
 			row.Naive, row.Coco, row.Fallback = st, st, FallbackSingle
+			asp.SetStr("outcome", "ok")
+			asp.Finish()
 			return row, nil
 		}
-		naive, opt, serr := e.measureCommAttempt(ctx, c.w, part)
+		naive, opt, serr := e.measureCommAttempt(ctx, c.w, part, asp)
 		if serr == nil {
 			row.Naive, row.Coco = naive, opt
 			if part.Name() != c.part.Name() {
 				row.Fallback = part.Name()
 			}
+			asp.SetStr("outcome", "ok")
+			asp.Finish()
 			return row, nil
 		}
 		if !e.degrade || isCtxErr(serr) {
+			asp.SetStr("outcome", "failed").SetStr("stage", serr.Stage).SetStr("class", string(serr.Class))
+			asp.Finish()
 			return row, serr
 		}
 		e.noteFallback()
+		spanFail(sp, asp, serr)
 	}
 	return row, fmt.Errorf("exp: %s/%s: degradation chain exhausted", c.w.Name, c.part.Name())
 }
@@ -347,23 +394,31 @@ func (e *Engine) commCell(ctx context.Context, c cell) (CommRow, error) {
 // pipeline, converting any failure — including a panic — into a structured
 // StageError.
 func (e *Engine) measureCommAttempt(ctx context.Context, w *workloads.Workload,
-	part partition.Partitioner) (naive, opt interp.CommStats, serr *StageError) {
+	part partition.Partitioner, sp *obs.Span) (naive, opt interp.CommStats, serr *StageError) {
 	defer func() {
 		if v := recover(); v != nil {
 			serr = recovered("measure", w, part, v)
 		}
 	}()
+	psp := sp.Child("pipeline")
 	p, err := e.Pipeline(ctx, w, part)
+	psp.Finish()
 	if err != nil {
 		return naive, opt, stageError("pipeline", w, part, err)
 	}
+	msp := sp.Child("measure-naive")
 	n, injected, err := p.measureCommInjected(ctx, p.Naive, e.chaos)
 	e.noteInjected(injected)
+	msp.SetInt("compute", n.Compute).SetInt("produce", n.Produce)
+	msp.Finish()
 	if err != nil {
 		return naive, opt, stageError("measure", w, part, err)
 	}
+	msp = sp.Child("measure-coco")
 	o, injected, err := p.measureCommInjected(ctx, p.Coco, e.chaos)
 	e.noteInjected(injected)
+	msp.SetInt("compute", o.Compute).SetInt("produce", o.Produce)
+	msp.Finish()
 	if err != nil {
 		return naive, opt, stageError("measure", w, part, err)
 	}
@@ -379,7 +434,7 @@ func (e *Engine) SpeedupExperiment(ctx context.Context, cfg sim.Config, ws []*wo
 	cells := matrix(ws)
 	rows := make([]SpeedupRow, len(cells))
 	err := par.Run(ctx, e.jobs, len(cells), func(i int) error {
-		row, err := e.speedupCell(ctx, cfg, cells[i])
+		row, err := e.speedupCell(ctx, cfg, cells[i], nil)
 		if err != nil {
 			return err
 		}
@@ -394,9 +449,12 @@ func (e *Engine) SpeedupExperiment(ctx context.Context, cfg sim.Config, ws []*wo
 
 // speedupCell simulates one matrix cell, walking the degradation chain
 // when enabled.
-func (e *Engine) speedupCell(ctx context.Context, cfg sim.Config, c cell) (SpeedupRow, error) {
+func (e *Engine) speedupCell(ctx context.Context, cfg sim.Config, c cell, sp *obs.Span) (SpeedupRow, error) {
 	row := SpeedupRow{Workload: c.w.Name, Partitioner: c.part.Name()}
+	ssp := sp.Child("single-threaded-baseline")
 	st, err := e.SingleThreadedCycles(ctx, cfg, c.w)
+	ssp.SetInt("cycles", st)
+	ssp.Finish()
 	if err != nil {
 		return row, err
 	}
@@ -406,22 +464,30 @@ func (e *Engine) speedupCell(ctx context.Context, cfg sim.Config, c cell) (Speed
 		attempts = append(attempts, fallbackFor(c.part)...)
 	}
 	for _, part := range attempts {
+		asp := spanAttempt(sp, part)
 		if part == nil { // last resort: the single-threaded baseline itself
 			row.NaiveCycles, row.CocoCycles, row.Fallback = st, st, FallbackSingle
+			asp.SetStr("outcome", "ok")
+			asp.Finish()
 			return row, nil
 		}
-		naive, opt, serr := e.measureCyclesAttempt(ctx, cfg, c.w, part)
+		naive, opt, serr := e.measureCyclesAttempt(ctx, cfg, c.w, part, asp)
 		if serr == nil {
 			row.NaiveCycles, row.CocoCycles = naive, opt
 			if part.Name() != c.part.Name() {
 				row.Fallback = part.Name()
 			}
+			asp.SetStr("outcome", "ok")
+			asp.Finish()
 			return row, nil
 		}
 		if !e.degrade || isCtxErr(serr) {
+			asp.SetStr("outcome", "failed").SetStr("stage", serr.Stage).SetStr("class", string(serr.Class))
+			asp.Finish()
 			return row, serr
 		}
 		e.noteFallback()
+		spanFail(sp, asp, serr)
 	}
 	return row, fmt.Errorf("exp: %s/%s: degradation chain exhausted", c.w.Name, c.part.Name())
 }
@@ -431,13 +497,15 @@ func (e *Engine) speedupCell(ctx context.Context, cfg sim.Config, c cell) (Speed
 // StageError. With chaos armed the no-progress watchdog is lowered so an
 // injected deadlock fails in bounded time.
 func (e *Engine) measureCyclesAttempt(ctx context.Context, cfg sim.Config, w *workloads.Workload,
-	part partition.Partitioner) (naive, opt int64, serr *StageError) {
+	part partition.Partitioner, sp *obs.Span) (naive, opt int64, serr *StageError) {
 	defer func() {
 		if v := recover(); v != nil {
 			serr = recovered("simulate", w, part, v)
 		}
 	}()
+	psp := sp.Child("pipeline")
 	p, err := e.Pipeline(ctx, w, part)
+	psp.Finish()
 	if err != nil {
 		return naive, opt, stageError("pipeline", w, part, err)
 	}
@@ -445,13 +513,19 @@ func (e *Engine) measureCyclesAttempt(ctx context.Context, cfg sim.Config, w *wo
 	if e.chaos != nil {
 		mtCfg.StallLimit = 100_000
 	}
+	ssp := sp.Child("simulate-naive")
 	n, injected, err := p.measureCyclesInjected(mtCfg, p.Naive, e.chaos)
 	e.noteInjected(injected)
+	ssp.SetInt("cycles", n)
+	ssp.Finish()
 	if err != nil {
 		return naive, opt, stageError("simulate", w, part, err)
 	}
+	ssp = sp.Child("simulate-coco")
 	o, injected, err := p.measureCyclesInjected(mtCfg, p.Coco, e.chaos)
 	e.noteInjected(injected)
+	ssp.SetInt("cycles", o)
+	ssp.Finish()
 	if err != nil {
 		return naive, opt, stageError("simulate", w, part, err)
 	}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of fixed log2 buckets: bucket 0 holds
+// non-positive observations, bucket i (1 ≤ i ≤ 63) holds values whose
+// bit length is i, i.e. the inclusive range [2^(i-1), 2^i − 1]. Bucket
+// 63's upper bound is MaxInt64, so every int64 lands in exactly one
+// bucket.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram with exact counts. Like
+// every obs instrument it measures abstract deterministic units
+// (steps, cycles, queue slots — never wall-clock), is safe for
+// concurrent use, and is inert when nil. The bucket layout is fixed at
+// compile time so two runs of the same workload serialize to identical
+// bytes.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket: 0 for v ≤ 0, else the
+// bit length of v.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns the inclusive upper bound of bucket i: 0, 1, 3,
+// 7, …, MaxInt64.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot.
+type HistogramBucket struct {
+	// Bound is the bucket's inclusive upper bound.
+	Bound int64
+	// N is the exact (non-cumulative) count in this bucket.
+	N int64
+}
+
+// Buckets returns the non-empty buckets in ascending bound order.
+func (h *Histogram) Buckets() []HistogramBucket {
+	if h == nil {
+		return nil
+	}
+	var bs []HistogramBucket
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			bs = append(bs, HistogramBucket{Bound: BucketBound(i), N: n})
+		}
+	}
+	return bs
+}

@@ -117,18 +117,20 @@ func (t *Timer) Total() int64 {
 // identified by their full dotted name; concurrent lookups of the same
 // name return the same instrument.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -175,6 +177,22 @@ func (r *Registry) Timer(name string) *Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
 }
 
 // Scope returns a view of the registry that prefixes every metric name
@@ -225,6 +243,15 @@ func (s *Scope) Timer(n string) *Timer {
 	return s.r.Timer(s.name(n))
 }
 
+// Histogram returns the scoped histogram (nil instrument on a nil
+// scope).
+func (s *Scope) Histogram(n string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.r.Histogram(s.name(n))
+}
+
 // Child returns a sub-scope with prefix appended.
 func (s *Scope) Child(prefix string) *Scope {
 	if s == nil {
@@ -236,12 +263,14 @@ func (s *Scope) Child(prefix string) *Scope {
 // Metric is one exported measurement.
 type Metric struct {
 	Name string
-	// Type is "counter", "gauge", or "timer".
+	// Type is "counter", "gauge", "timer", or "histogram".
 	Type string
-	// Value is the count, gauge value, or timer total.
+	// Value is the count, gauge value, timer total, or histogram sum.
 	Value int64
-	// Count is the number of observations (timers only).
+	// Count is the number of observations (timers and histograms).
 	Count int64
+	// Buckets holds the non-empty buckets (histograms only).
+	Buckets []HistogramBucket
 }
 
 // Snapshot returns every metric sorted by (type, name) — a deterministic
@@ -260,6 +289,9 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	for name, t := range r.timers {
 		ms = append(ms, Metric{Name: name, Type: "timer", Value: t.Total(), Count: t.Count()})
+	}
+	for name, h := range r.histograms {
+		ms = append(ms, Metric{Name: name, Type: "histogram", Value: h.Sum(), Count: h.Count(), Buckets: h.Buckets()})
 	}
 	r.mu.Unlock()
 	sort.Slice(ms, func(i, j int) bool {
@@ -287,7 +319,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			sep = ""
 		}
 		var line string
-		if m.Type == "timer" {
+		if m.Type == "histogram" {
+			var bs []byte
+			for i, b := range m.Buckets {
+				if i > 0 {
+					bs = append(bs, ',')
+				}
+				bs = append(bs, fmt.Sprintf("[%d,%d]", b.Bound, b.N)...)
+			}
+			line = fmt.Sprintf("%s\n{\"name\": %s, \"type\": %s, \"value\": %d, \"count\": %d, \"buckets\": [%s]}",
+				sep, jsonString(m.Name), jsonString(m.Type), m.Value, m.Count, bs)
+		} else if m.Type == "timer" {
 			line = fmt.Sprintf("%s\n{\"name\": %s, \"type\": %s, \"value\": %d, \"count\": %d}",
 				sep, jsonString(m.Name), jsonString(m.Type), m.Value, m.Count)
 		} else {

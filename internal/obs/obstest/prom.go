@@ -1,0 +1,280 @@
+package obstest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// PromSample is one sample line of a Prometheus text-format exposition.
+type PromSample struct {
+	// Name is the sample's metric name (may carry a _sum/_count/_bucket
+	// suffix relative to its family).
+	Name string
+	// Labels holds the sample's label pairs.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// PromFamily is one TYPE-declared metric family and its samples in file
+// order.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm is a minimal Prometheus text-format (version 0.0.4) parser,
+// strict enough to validate a /metrics scrape: every sample must belong
+// to a declared family (exact name for counters/gauges, _sum/_count for
+// summaries and histograms, _bucket with an le label for histograms),
+// histogram buckets must be cumulative and non-decreasing with a +Inf
+// bucket equal to _count, and no two samples may repeat the same name
+// and label set. Families are returned keyed by name.
+func ParseProm(raw []byte) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				continue
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, ok := families[name]; ok {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				families[name] = &PromFamily{Name: name, Type: typ}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := s.Name + "{" + labelKey(s.Labels) + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		fam := familyFor(families, s)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q belongs to no declared family", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range families {
+		if err := checkFamily(fam); err != nil {
+			return nil, err
+		}
+	}
+	return families, nil
+}
+
+// CheckProm fails the test unless raw is a valid, non-empty exposition.
+func CheckProm(t testing.TB, raw []byte) map[string]*PromFamily {
+	t.Helper()
+	fams, err := ParseProm(raw)
+	if err != nil {
+		t.Fatalf("prometheus exposition does not parse: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("prometheus exposition declares no metric families")
+	}
+	return fams
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces: %q", line)
+		}
+		s.Name = line[:i]
+		for _, pair := range splitLabels(line[i+1 : j]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			val := strings.TrimSpace(pair[eq+1:])
+			uq, err := strconv.Unquote(val)
+			if err != nil {
+				return s, fmt.Errorf("label value %q is not a quoted string", val)
+			}
+			s.Labels[strings.TrimSpace(pair[:eq])] = uq
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample needs a name and a value: %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("sample needs a value: %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample value %q is not a float", fields[0])
+	}
+	s.Value = v
+	if s.Name == "" {
+		return s, fmt.Errorf("sample has empty name: %q", line)
+	}
+	return s, nil
+}
+
+// splitLabels splits a{..} label body on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inq := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && inq && i+1 < len(body):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(body[i])
+		case c == '"':
+			inq = !inq
+			cur.WriteByte(c)
+		case c == ',' && !inq:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func familyFor(families map[string]*PromFamily, s PromSample) *PromFamily {
+	if fam, ok := families[s.Name]; ok {
+		if fam.Type == "histogram" || fam.Type == "summary" {
+			return nil // bare sample not valid for these types
+		}
+		return fam
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(s.Name, suffix)
+		if base == s.Name {
+			continue
+		}
+		fam, ok := families[base]
+		if !ok {
+			continue
+		}
+		switch fam.Type {
+		case "histogram":
+			if suffix == "_bucket" {
+				if _, ok := s.Labels["le"]; !ok {
+					return nil
+				}
+			}
+			return fam
+		case "summary":
+			if suffix != "_bucket" {
+				return fam
+			}
+		}
+	}
+	return nil
+}
+
+func checkFamily(fam *PromFamily) error {
+	if fam.Type != "histogram" {
+		return nil
+	}
+	var count float64
+	haveCount := false
+	var prev float64
+	var prevLe float64
+	havePrev := false
+	haveInf := false
+	var infVal float64
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_count":
+			count, haveCount = s.Value, true
+		case fam.Name + "_bucket":
+			le := s.Labels["le"]
+			if le == "+Inf" {
+				haveInf = true
+				infVal = s.Value
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bucket le %q is not a float", fam.Name, le)
+			}
+			if havePrev {
+				if b <= prevLe {
+					return fmt.Errorf("histogram %s: bucket bounds not increasing (%v after %v)", fam.Name, b, prevLe)
+				}
+				if s.Value < prev {
+					return fmt.Errorf("histogram %s: cumulative counts decrease (%v after %v)", fam.Name, s.Value, prev)
+				}
+			}
+			prev, prevLe, havePrev = s.Value, b, true
+		}
+	}
+	if !haveInf {
+		return fmt.Errorf("histogram %s: missing +Inf bucket", fam.Name)
+	}
+	if !haveCount {
+		return fmt.Errorf("histogram %s: missing _count", fam.Name)
+	}
+	if infVal != count {
+		return fmt.Errorf("histogram %s: +Inf bucket (%v) != _count (%v)", fam.Name, infVal, count)
+	}
+	if havePrev && prev > infVal {
+		return fmt.Errorf("histogram %s: finite bucket (%v) exceeds +Inf (%v)", fam.Name, prev, infVal)
+	}
+	return nil
+}
+
+// labelKey renders labels in sorted order for duplicate detection.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}

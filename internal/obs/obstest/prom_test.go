@@ -1,0 +1,81 @@
+package obstest
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParsePromAccepts(t *testing.T) {
+	raw := []byte(`# HELP reqs total requests
+# TYPE reqs counter
+reqs 7
+# TYPE depth gauge
+depth{queue="main",kind="compute"} 3
+# TYPE lat summary
+lat_sum 150
+lat_count 2
+# TYPE hist histogram
+hist_bucket{le="1"} 2
+hist_bucket{le="7"} 4
+hist_bucket{le="+Inf"} 5
+hist_sum 23
+hist_count 5
+`)
+	fams, err := ParseProm(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families, want 4", len(fams))
+	}
+	if s := fams["depth"].Samples[0]; s.Labels["queue"] != "main" || s.Labels["kind"] != "compute" {
+		t.Errorf("labels = %v", s.Labels)
+	}
+	if got := len(fams["hist"].Samples); got != 5 {
+		t.Errorf("hist has %d samples, want 5", got)
+	}
+}
+
+func TestParsePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown type":          "# TYPE x widget\nx 1\n",
+		"duplicate TYPE":        "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"orphan sample":         "nobody_declared_me 4\n",
+		"duplicate sample":      "# TYPE x counter\nx 1\nx 2\n",
+		"non-float value":       "# TYPE x counter\nx banana\n",
+		"bare histogram sample": "# TYPE h histogram\nh 3\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n",
+		"bucket without le":     "# TYPE h histogram\nh_bucket 3\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"missing +Inf":          "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing _count":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"+Inf != count":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"decreasing cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"unsorted bounds":       "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"unquoted label":        "# TYPE x counter\nx{a=b} 1\n",
+		"unbalanced braces":     "# TYPE x counter\nx{a=\"b\" 1\n",
+	}
+	for name, raw := range cases {
+		if _, err := ParseProm([]byte(raw)); err == nil {
+			t.Errorf("%s: ParseProm accepted:\n%s", name, raw)
+		}
+	}
+}
+
+// TestPromScrapeFile validates a scrape captured by the CI smoke job:
+// PROM_SCRAPE names a file holding the raw body of GET /metrics. Skipped
+// when the variable is unset, so the ordinary test run is unaffected.
+func TestPromScrapeFile(t *testing.T) {
+	path := os.Getenv("PROM_SCRAPE")
+	if path == "" {
+		t.Skip("PROM_SCRAPE not set; this test validates a CI scrape")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := CheckProm(t, raw)
+	for _, name := range []string{"serve_requests", "serve_admission_queue_depth"} {
+		if fams[name] == nil {
+			t.Errorf("scrape lacks expected family %q", name)
+		}
+	}
+}

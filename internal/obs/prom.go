@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format: counters and gauges directly, timers as summaries (_sum and
+// _count, no quantiles), histograms with cumulative le buckets ending
+// in +Inf. Dotted metric names are sanitized to the Prometheus charset
+// (serve.requests → serve_requests); the HELP line keeps the original
+// name. Output is sorted and byte-stable for a given registry state.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		name := promName(m.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, m.Name); err != nil {
+			return err
+		}
+		var err error
+		switch m.Type {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value)
+		case "timer":
+			_, err = fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %d\n%s_count %d\n",
+				name, name, m.Value, name, m.Count)
+		case "histogram":
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for _, b := range m.Buckets {
+				cum += b.N
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Bound, cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				name, m.Count, name, m.Value, name, m.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus name charset
+// [a-zA-Z0-9_]: every other rune becomes '_', and a leading digit gets
+// a '_' prefix.
+func promName(s string) string {
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			b = append(b, '_')
+		}
+		b = append(b, c)
+	}
+	if len(b) == 0 {
+		return "_"
+	}
+	return string(b)
+}

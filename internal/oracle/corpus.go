@@ -19,6 +19,7 @@ import (
 //
 //	; oracle case: seed=42 (shrunk)
 //	; seed: 42
+//	; trace: 6fd43a2f8c91e0b4
 //	; args: 3 -7
 //	; mem: 1 0 0 5
 //	; object: arr 0 16
@@ -29,9 +30,12 @@ import (
 //
 // The optional replay directive pins the exact matrix cell the failure was
 // found in (cmd/gmtstress writes it); without one, a replay runs the full
-// default matrix. cmd/gmtcheck prints failing cases in this format and
-// replays them with -replay; files checked into testdata/corpus are re-run
-// by the regression tests.
+// default matrix. The optional trace directive carries the deterministic
+// trace ID of the run that found the failure (obs.TraceID form), linking
+// a reproducer back to its telemetry; gmtcheck -replay echoes it.
+// cmd/gmtcheck prints failing cases in this format and replays them with
+// -replay; files checked into testdata/corpus are re-run by the
+// regression tests.
 
 // ReplayConfig pins one matrix cell so a reproducer re-runs in exactly
 // the configuration that failed. The zero value means "the full default
@@ -195,6 +199,9 @@ func FormatRepro(c *Case, rc *ReplayConfig) string {
 	if c.Seed != 0 {
 		fmt.Fprintf(&b, "; seed: %d\n", c.Seed)
 	}
+	if c.TraceID != "" {
+		fmt.Fprintf(&b, "; trace: %s\n", c.TraceID)
+	}
 	fmt.Fprintf(&b, "; args:%s\n", formatInts(c.Args))
 	fmt.Fprintf(&b, "; mem:%s\n", formatInts(c.Mem))
 	for _, o := range c.Objects {
@@ -239,6 +246,8 @@ func ParseCase(text string) (*Case, error) {
 			c.Name = rest
 		case "seed":
 			c.Seed, err = strconv.ParseInt(rest, 10, 64)
+		case "trace":
+			c.TraceID = rest
 		case "args":
 			c.Args, err = parseInts(rest)
 		case "mem":

@@ -224,3 +224,26 @@ func TestShrinkClonePreservesReplay(t *testing.T) {
 		t.Fatalf("shrink dropped the replay config: %+v", min.Replay)
 	}
 }
+
+// TestTraceDirectiveRoundTrip pins the trace directive: a case's trace ID
+// survives format → parse, and a case without one writes no directive.
+func TestTraceDirectiveRoundTrip(t *testing.T) {
+	c := Generate(3)
+	c.TraceID = "6fd43a2f8c91e0b4"
+	text := FormatCase(c)
+	if !strings.Contains(text, "; trace: 6fd43a2f8c91e0b4\n") {
+		t.Fatalf("formatted case lacks trace directive:\n%s", text)
+	}
+	back, err := ParseCase(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != c.TraceID {
+		t.Errorf("TraceID round-tripped to %q, want %q", back.TraceID, c.TraceID)
+	}
+
+	c.TraceID = ""
+	if text := FormatCase(c); strings.Contains(text, "; trace:") {
+		t.Errorf("case without a trace ID wrote a trace directive:\n%s", text)
+	}
+}

@@ -59,6 +59,10 @@ type Case struct {
 	// it travels with the reproducer file (see corpus.go) but Check does
 	// not apply it implicitly — callers opt in via ReplayConfig.Apply.
 	Replay *ReplayConfig
+	// TraceID, when set, links the reproducer back to the telemetry of
+	// the run that found it (obs.TraceID form). Provenance only: it
+	// never affects how the case runs.
+	TraceID string
 }
 
 // FromProgram wraps a generated random program as a Case.

@@ -111,9 +111,13 @@ type Cycles struct {
 	Fallback       string  `json:"fallback,omitempty"`
 }
 
-// errorBody is the JSON body of every non-200 response.
+// errorBody is the JSON body of every non-200 response. Error bodies
+// are never cached, so — unlike success bodies, whose bytes must be
+// identical across cold/warm/merged paths — they can carry the
+// per-request trace ID inline.
 type errorBody struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // workload resolves the request's workload: a named benchmark (shared

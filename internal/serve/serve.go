@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,25 @@ type Options struct {
 	// Metrics receives all serve and cache instrumentation; a private
 	// registry is created when nil.
 	Metrics *obs.Registry
+	// Clock supplies span-tree timestamps. nil means a logical
+	// per-server counter that ticks once per trace event, which keeps
+	// serial traces, dumps, and histograms byte-deterministic; inject a
+	// wall clock here to trade that determinism for real durations.
+	Clock func() int64
+	// TraceRetain bounds how many completed request traces stay
+	// queryable via GET /v1/trace/{id}; <= 0 means 256.
+	TraceRetain int
+	// FlightSize bounds the flight recorder's ring of recent traces
+	// snapshotted to disk on 5xx, breaker trip, or drain; <= 0 means 32.
+	FlightSize int
+	// FlightDir is where flight-recorder dumps are written (atomically,
+	// through the server's vfs); "" disables dumping (the in-memory
+	// recorder still runs).
+	FlightDir string
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// served request: trace ID, outcome, cache path, degradation count,
+	// and logical durations.
+	AccessLog io.Writer
 }
 
 // engineKey identifies a shared engine: every option that changes what an
@@ -132,6 +152,20 @@ type Server struct {
 
 	inflight atomic.Int64
 
+	// Telemetry: per-request span trees timed by clock (logical by
+	// default), retained in traces for GET /v1/trace/{id} and in flight
+	// for postmortem dumps under flightDir.
+	clock     func() int64
+	tick      atomic.Int64
+	reqSeq    atomic.Int64
+	dumpSeq   atomic.Int64
+	traces    *obs.FlightRecorder
+	flight    *obs.FlightRecorder
+	flightDir string
+	durable   bool
+	fs        vfs.FS
+	access    *accessLogger
+
 	mu      sync.Mutex
 	engines map[engineKey]*exp.Engine
 }
@@ -150,7 +184,36 @@ func New(o Options) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if o.TraceRetain <= 0 {
+		o.TraceRetain = 256
+	}
+	fsys := o.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
 	h := newHealth(reg.Scope("serve"))
+	s := &Server{
+		jobs:        o.Jobs,
+		maxBudget:   o.MaxBudget,
+		defDegrade:  o.Degrade,
+		defDeadline: o.DefaultDeadline,
+		maxDeadline: o.MaxDeadline,
+		queue:       make(chan struct{}, o.Queue),
+		health:      h,
+		reg:         reg,
+		scope:       reg.Scope("serve"),
+		clock:       o.Clock,
+		traces:      obs.NewFlightRecorder(o.TraceRetain),
+		flight:      obs.NewFlightRecorder(o.FlightSize),
+		flightDir:   o.FlightDir,
+		durable:     o.Durable,
+		fs:          fsys,
+		access:      newAccessLogger(o.AccessLog),
+		engines:     map[engineKey]*exp.Engine{},
+	}
+	if s.clock == nil {
+		s.clock = func() int64 { return s.tick.Add(1) }
+	}
 	c, err := cache.New(cache.Options{
 		Dir:              o.CacheDir,
 		MemEntries:       o.MemEntries,
@@ -161,32 +224,33 @@ func New(o Options) (*Server, error) {
 		RetryBase:        o.RetryBase,
 		BreakerThreshold: o.BreakerThreshold,
 		BreakerProbe:     o.BreakerProbe,
-		OnDiskState:      h.setBreaker,
-		Metrics:          reg.Scope("serve.cache"),
+		OnDiskState: func(open bool) {
+			h.setBreaker(open)
+			if open {
+				// A tripping breaker is exactly the moment a postmortem
+				// wants the recent request history. The dump goes through
+				// the server's own vfs, never back into the cache.
+				s.dumpFlight("breaker")
+			}
+		},
+		Metrics: reg.Scope("serve.cache"),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		jobs:        o.Jobs,
-		maxBudget:   o.MaxBudget,
-		defDegrade:  o.Degrade,
-		defDeadline: o.DefaultDeadline,
-		maxDeadline: o.MaxDeadline,
-		cache:       c,
-		queue:       make(chan struct{}, o.Queue),
-		health:      h,
-		reg:         reg,
-		scope:       reg.Scope("serve"),
-		engines:     map[engineKey]*exp.Engine{},
-	}, nil
+	s.cache = c
+	return s, nil
 }
 
 // BeginDrain moves the server into the terminal draining state:
 // readiness turns false so load balancers stop routing here, while
 // in-flight and already-routed requests still complete. Call it before
-// http.Server.Shutdown.
-func (s *Server) BeginDrain() { s.health.setDraining() }
+// http.Server.Shutdown. The flight recorder snapshots to disk so the
+// final request history survives the shutdown.
+func (s *Server) BeginDrain() {
+	s.health.setDraining()
+	s.dumpFlight("drain")
+}
 
 // Health returns the current availability state.
 func (s *Server) Health() State { return s.health.State() }
@@ -204,22 +268,45 @@ type Result struct {
 	// request's flight), or "error".
 	Source string
 	Body   []byte
+	// TraceID names the request's span tree, retrievable while retained
+	// via GET /v1/trace/{id}. Cached success bodies stay byte-identical
+	// across requests, so the ID travels in the X-Gmtserve-Trace header
+	// and — for never-cached error bodies — a trace_id body field.
+	TraceID string
 }
 
-func errResult(status int, err error) Result {
-	body, _ := json.Marshal(errorBody{Error: err.Error()})
-	return Result{Status: status, Source: "error", Body: body}
+func errResult(status int, err error, traceID string) Result {
+	body, _ := json.Marshal(errorBody{Error: err.Error(), TraceID: traceID})
+	return Result{Status: status, Source: "error", Body: body, TraceID: traceID}
 }
 
 // Do serves one request through the full path: validate, deadline, key,
 // cache, singleflight, bounded compute. It never panics the caller;
-// every failure is a Result with a JSON error body.
+// every failure is a Result with a JSON error body. The full lifecycle
+// is recorded as a span tree retained for GET /v1/trace/{id} and the
+// flight recorder.
 func (s *Server) Do(ctx context.Context, req *Request) Result {
+	seq := s.reqSeq.Add(1)
+	id := obs.TraceID("req", strconv.FormatInt(seq, 10), req.Workload, req.Name, req.Partitioner)
+	tree := obs.NewSpanTree(id, s.clock)
+	root := tree.Root("request")
+	res := s.serveTraced(ctx, req, root, id)
+	res.TraceID = id
+	root.SetInt("status", int64(res.Status))
+	root.SetStr("source", res.Source)
+	root.Finish()
+	s.finishTrace(tree, root, req, res)
+	return res
+}
+
+// serveTraced is the request path proper, recording spans under root.
+func (s *Server) serveTraced(ctx context.Context, req *Request, root *obs.Span, id string) Result {
 	s.scope.Counter("requests").Inc()
 	s.scope.Gauge("inflight").SetMax(s.inflight.Add(1))
 	defer s.inflight.Add(-1)
 
-	if d := s.deadlineFor(req); d > 0 {
+	d := s.deadlineFor(req)
+	if d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
@@ -227,16 +314,18 @@ func (s *Server) Do(ctx context.Context, req *Request) Result {
 
 	w, inline, err := req.workload()
 	if err != nil {
-		return errResult(http.StatusBadRequest, err)
+		return errResult(http.StatusBadRequest, err, id)
 	}
+	root.SetStr("workload", w.Name)
 	partName := req.Partitioner
 	if partName == "" {
 		partName = "gremio"
 	}
 	p, err := cli.ResolvePartitioner(partName)
 	if err != nil {
-		return errResult(http.StatusBadRequest, err)
+		return errResult(http.StatusBadRequest, err, id)
 	}
+	root.SetStr("partitioner", p.Name())
 	b := req.Budget.toBudget(s.maxBudget)
 	degrade := s.defDegrade
 	if req.Degrade != nil {
@@ -244,28 +333,52 @@ func (s *Server) Do(ctx context.Context, req *Request) Result {
 	}
 	key := requestKey(w, p.Name(), req.Sim, b, degrade)
 
-	if body, ok := s.cache.Get(key); ok {
+	lookup := root.Child("cache.lookup")
+	var lev cache.OpEvents
+	body, ok := s.cache.GetEv(key, &lev)
+	spanCacheEvents(lookup, &lev)
+	lookup.Finish()
+	root.SetStr("cache", lev.Layer)
+	if ok {
 		// Which layer served it shows up in the hit.mem/hit.disk
 		// counters; the header only distinguishes warm from cold/merged.
 		return Result{Status: http.StatusOK, Source: "warm", Body: body}
 	}
 
 	body, err, merged := s.sf.Do(key, func() ([]byte, error) {
+		adm := root.Child("admission")
+		depth := int64(len(s.queue))
+		adm.SetInt("depth", depth).SetInt("capacity", int64(cap(s.queue)))
+		// Admission-time distributions, not just high-water marks: the
+		// queue depth seen by each arriving computation and the slack its
+		// deadline allows (the resolved deadline is deterministic; the
+		// remaining wall time is not).
+		s.scope.Histogram("admission.queue_depth").Observe(depth)
+		s.scope.Histogram("admission.deadline_slack_ms").Observe(d.Milliseconds())
 		select {
 		case s.queue <- struct{}{}:
 		default:
 			s.scope.Counter("queue.rejected").Inc()
+			adm.SetStr("outcome", "rejected")
+			adm.Finish()
 			return nil, errQueueFull
 		}
 		s.scope.Gauge("queue.depth").SetMax(int64(len(s.queue)))
+		adm.SetStr("outcome", "admitted")
+		adm.Finish()
 		defer func() { <-s.queue }()
 		// A flight that completed between our cache probe and joining the
 		// group has already put its bytes; serve those rather than
 		// recomputing.
-		if body, ok := s.cache.Get(key); ok {
+		recheck := root.Child("cache.recheck")
+		var rev cache.OpEvents
+		body, ok := s.cache.GetEv(key, &rev)
+		spanCacheEvents(recheck, &rev)
+		recheck.Finish()
+		if ok {
 			return body, nil
 		}
-		return s.compute(ctx, w, inline, p, req.Sim, b, degrade, key)
+		return s.compute(ctx, w, inline, p, req.Sim, b, degrade, key, root)
 	})
 	switch {
 	case err == nil && merged:
@@ -274,15 +387,15 @@ func (s *Server) Do(ctx context.Context, req *Request) Result {
 	case err == nil:
 		return Result{Status: http.StatusOK, Source: "cold", Body: body}
 	case errors.Is(err, errQueueFull):
-		return errResult(http.StatusServiceUnavailable, err)
+		return errResult(http.StatusServiceUnavailable, err, id)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.scope.Counter("deadline.exceeded").Inc()
-		return errResult(http.StatusGatewayTimeout, err)
+		return errResult(http.StatusGatewayTimeout, err, id)
 	case ctx.Err() != nil:
-		return errResult(http.StatusServiceUnavailable, err)
+		return errResult(http.StatusServiceUnavailable, err, id)
 	default:
 		s.scope.Counter("errors").Inc()
-		return errResult(http.StatusInternalServerError, err)
+		return errResult(http.StatusInternalServerError, err, id)
 	}
 }
 
@@ -305,7 +418,7 @@ func (s *Server) deadlineFor(req *Request) time.Duration {
 // bytes. The serve.compute counter is the "did the pipeline actually
 // run?" signal tests and the smoke job assert on.
 func (s *Server) compute(ctx context.Context, w *workloads.Workload, inline bool,
-	p partition.Partitioner, runSim bool, b budget.Budget, degrade bool, key string) ([]byte, error) {
+	p partition.Partitioner, runSim bool, b budget.Budget, degrade bool, key string, root *obs.Span) ([]byte, error) {
 	s.scope.Counter("compute").Inc()
 	eng := s.engine(inline, b, degrade)
 
@@ -315,7 +428,9 @@ func (s *Server) compute(ctx context.Context, w *workloads.Workload, inline bool
 		Partitioner: p.Name(),
 		Fingerprint: w.Fingerprint(),
 	}
-	comm, err := eng.CommCell(ctx, w, p)
+	csp := root.Child("compute.comm")
+	comm, err := eng.CommCellSpan(ctx, w, p, csp)
+	csp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", w.Name, p.Name(), err)
 	}
@@ -327,7 +442,9 @@ func (s *Server) compute(ctx context.Context, w *workloads.Workload, inline bool
 		Fallback: comm.Fallback,
 	}
 	if runSim {
-		row, err := eng.SpeedupCell(ctx, sim.DefaultConfig(), w, p)
+		ssp := root.Child("compute.sim")
+		row, err := eng.SpeedupCellSpan(ctx, sim.DefaultConfig(), w, p, ssp)
+		ssp.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", w.Name, p.Name(), err)
 		}
@@ -346,11 +463,16 @@ func (s *Server) compute(ctx context.Context, w *workloads.Workload, inline bool
 	if err != nil {
 		return nil, err
 	}
-	if err := s.cache.Put(key, body); err != nil {
+	psp := root.Child("cache.put")
+	var pev cache.OpEvents
+	if err := s.cache.PutEv(key, body, &pev); err != nil {
 		// A failed disk write must not fail the request: the bytes are
 		// computed and the memory layer has them.
 		s.scope.Counter("cache.put_errors").Inc()
+		psp.SetStr("outcome", "error")
 	}
+	spanCacheEvents(psp, &pev)
+	psp.Finish()
 	return body, nil
 }
 
@@ -389,8 +511,10 @@ func (s *Server) engine(inline bool, b budget.Budget, degrade bool) *exp.Engine 
 //	GET  /v1/workloads    built-in workload names
 //	GET  /v1/partitioners partitioner names
 //	GET  /v1/stats        serving counters (cache, singleflight, queue, health)
-//	GET  /v1/metrics      the full metrics registry
+//	GET  /v1/metrics      the full metrics registry (JSON)
+//	GET  /v1/trace/{id}   a retained request's span tree
 //	GET  /v1/healthz      liveness; add ?ready=1 for readiness (503 while draining)
+//	GET  /metrics         Prometheus text exposition of the same registry
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
@@ -406,7 +530,12 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		s.reg.WriteJSON(w)
 	})
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.reg.WriteProm(w)
+	})
 	return mux
 }
 
@@ -418,8 +547,28 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	res := s.Do(r.Context(), &req)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Gmtserve-Source", res.Source)
+	w.Header().Set("X-Gmtserve-Trace", res.TraceID)
 	w.WriteHeader(res.Status)
 	w.Write(res.Body)
+}
+
+// handleTrace serves a retained request trace by ID. Traces are kept in
+// a bounded ring (Options.TraceRetain), so an old enough trace is gone
+// — 404, not an error.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := s.traces.Get(id)
+	if !ok {
+		res := errResult(http.StatusNotFound, fmt.Errorf("trace %q is not retained", id), "")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	w.Write([]byte("\n"))
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -430,9 +579,10 @@ type BatchRequest struct {
 // BatchItem is one in-order element of a batch response. Body carries the
 // exact bytes the request would have received from /v1/schedule.
 type BatchItem struct {
-	Status int             `json:"status"`
-	Source string          `json:"source"`
-	Body   json.RawMessage `json:"body"`
+	Status  int             `json:"status"`
+	Source  string          `json:"source"`
+	TraceID string          `json:"trace_id"`
+	Body    json.RawMessage `json:"body"`
 }
 
 // BatchResponse is the body of POST /v1/batch.
@@ -453,7 +603,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// cancellation from Do (which never returns an error).
 	par.Run(r.Context(), s.jobs, len(batch.Requests), func(i int) error {
 		res := s.Do(r.Context(), &batch.Requests[i])
-		items[i] = BatchItem{Status: res.Status, Source: res.Source, Body: res.Body}
+		items[i] = BatchItem{Status: res.Status, Source: res.Source, TraceID: res.TraceID, Body: res.Body}
 		return nil
 	})
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: items})
@@ -492,6 +642,11 @@ type Stats struct {
 	CacheRetries     int64  `json:"cache_retries"`
 	CacheBypass      int64  `json:"cache_bypass"`
 	DeadlineExceeded int64  `json:"deadline_exceeded"`
+
+	// Telemetry counters: retained traces and flight-recorder activity.
+	TracesRetained   int   `json:"traces_retained"`
+	FlightDumps      int64 `json:"flight_dumps"`
+	FlightDumpErrors int64 `json:"flight_dump_errors"`
 }
 
 // StatsSnapshot reads the current counters (also used by tests).
@@ -525,6 +680,9 @@ func (s *Server) StatsSnapshot() Stats {
 		CacheRetries:       cs.Counter("retry").Value(),
 		CacheBypass:        cs.Counter("bypass").Value(),
 		DeadlineExceeded:   s.scope.Counter("deadline.exceeded").Value(),
+		TracesRetained:     s.traces.Len(),
+		FlightDumps:        s.scope.Counter("flight.dumps").Value(),
+		FlightDumpErrors:   s.scope.Counter("flight.dump_errors").Value(),
 	}
 }
 
@@ -567,7 +725,7 @@ func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 		err = json.Unmarshal(body, into)
 	}
 	if err != nil {
-		res := errResult(http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		res := errResult(http.StatusBadRequest, fmt.Errorf("decoding request: %v", err), "")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(res.Status)
 		w.Write(res.Body)

@@ -149,9 +149,21 @@ type Repro struct {
 	Cell   int
 	Status Status
 	Kind   oracle.Kind
-	// Text is the reproducer file body (oracle corpus format, replay
-	// directive included).
+	// TraceID is the cell's deterministic trace identifier (a pure
+	// function of the sweep seed and cell index), written into the
+	// reproducer's trace directive so the file links back to the sweep
+	// run that emitted it.
+	TraceID string
+	// Text is the reproducer file body (oracle corpus format, replay and
+	// trace directives included).
 	Text string
+}
+
+// CellTraceID derives the deterministic trace ID of one sweep cell. The
+// same (sweep seed, cell index) always names the same trace, so a
+// reproducer can be matched to its sweep cell long after the run.
+func CellTraceID(seed int64, cell int) string {
+	return obs.TraceID("stress", fmt.Sprintf("%d", seed), fmt.Sprintf("%d", cell))
 }
 
 // Options configures a sweep. Zero values mean defaults.
@@ -213,11 +225,11 @@ func Defaults() budget.Budget {
 
 // Result is the deterministic shard-merged outcome of one sweep.
 type Result struct {
-	Seed    int64
-	Cells   []CellResult
-	Repros  []Repro
-	Runs    int
-	Injected int64
+	Seed                            int64
+	Cells                           []CellResult
+	Repros                          []Repro
+	Runs                            int
+	Injected                        int64
 	Mismatches, Undetected, Skipped int
 	// ShrinkStopped records shrink errors (IR printing bugs surfaced
 	// mid-shrink); the unshrunk reproducer is still emitted.
@@ -475,11 +487,13 @@ func Sweep(ctx context.Context, opts Options) (*Result, error) {
 				fmt.Sprintf("cell %d: %v", cr.Cell.Index, serr))
 		}
 		min.Name = fmt.Sprintf("cell=%d seed=%d (shrunk)", cr.Cell.Index, cr.Cell.Seed)
+		min.TraceID = CellTraceID(opts.Seed, cr.Cell.Index)
 		res.Repros = append(res.Repros, Repro{
-			Cell:   cr.Cell.Index,
-			Status: cr.Status,
-			Kind:   kind,
-			Text:   oracle.FormatCase(min),
+			Cell:    cr.Cell.Index,
+			Status:  cr.Status,
+			Kind:    kind,
+			TraceID: min.TraceID,
+			Text:    oracle.FormatCase(min),
 		})
 	}
 

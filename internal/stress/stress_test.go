@@ -75,6 +75,13 @@ func TestSentinelDetectsShrinksAndReplays(t *testing.T) {
 	if c.Replay == nil {
 		t.Fatalf("reproducer lost its replay directive:\n%s", r.Text)
 	}
+	want := CellTraceID(1, r.Cell)
+	if r.TraceID != want {
+		t.Errorf("Repro.TraceID = %q, want %q", r.TraceID, want)
+	}
+	if c.TraceID != want {
+		t.Errorf("reproducer trace directive parsed to %q, want %q:\n%s", c.TraceID, want, r.Text)
+	}
 	opts, err := c.Replay.Apply(oracle.Options{Seed: c.Seed})
 	if err != nil {
 		t.Fatal(err)
